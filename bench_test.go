@@ -1,0 +1,54 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation: each
+// regenerates the corresponding artifact end to end (workload generation,
+// training where the artifact involves Decima, simulation of every
+// scheduler, statistics) at ScaleTiny. Run a single artifact with e.g.
+//
+//	go test -bench=BenchmarkFig9a -benchmem
+//
+// and regenerate larger versions with cmd/decima-bench.
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// runExp is the shared driver: one full experiment per benchmark iteration.
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sc := exp.ScaleTiny
+		sc.Seed = int64(i + 1)
+		tbl, err := exp.Run(id, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B)   { runExp(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { runExp(b, "fig3") }
+func BenchmarkFig9a(b *testing.B)  { runExp(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { runExp(b, "fig9b") }
+func BenchmarkFig10(b *testing.B)  { runExp(b, "fig10") }
+func BenchmarkFig11a(b *testing.B) { runExp(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { runExp(b, "fig11b") }
+func BenchmarkFig12(b *testing.B)  { runExp(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExp(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { runExp(b, "fig14") }
+func BenchmarkTable2(b *testing.B) { runExp(b, "table2") }
+func BenchmarkFig15a(b *testing.B) { runExp(b, "fig15a") }
+func BenchmarkFig15b(b *testing.B) { runExp(b, "fig15b") }
+func BenchmarkFig16(b *testing.B)  { runExp(b, "fig16") }
+func BenchmarkFig18(b *testing.B)  { runExp(b, "fig18") }
+func BenchmarkFig19(b *testing.B)  { runExp(b, "fig19") }
+func BenchmarkFig20(b *testing.B)  { runExp(b, "fig20") }
+func BenchmarkFig21(b *testing.B)  { runExp(b, "fig21") }
+func BenchmarkFig22(b *testing.B)  { runExp(b, "fig22") }
+func BenchmarkTable3(b *testing.B) { runExp(b, "table3") }
+func BenchmarkFig23(b *testing.B)  { runExp(b, "fig23") }

@@ -1,0 +1,56 @@
+// Command decima-bench regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	decima-bench -exp fig9a -scale small
+//	decima-bench -exp all -scale tiny
+//	decima-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.String("scale", "tiny", "scale: tiny | small | paper")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.IDs(), "\n"))
+		return
+	}
+	var sc exp.Scale
+	switch *scale {
+	case "tiny":
+		sc = exp.ScaleTiny
+	case "small":
+		sc = exp.ScaleSmall
+	case "paper":
+		sc = exp.ScalePaper
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	sc.Seed = *seed
+
+	ids := []string{*id}
+	if *id == "all" {
+		ids = exp.IDs()
+	}
+	for _, x := range ids {
+		tbl, err := exp.Run(x, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tbl)
+	}
+}

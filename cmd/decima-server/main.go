@@ -1,0 +1,54 @@
+// Command decima-server runs Decima as a standalone scheduling service
+// over TCP (the §6 integration surface). A cluster — or the driver in
+// examples/rpc — connects and sends a ScheduleRequest per scheduling
+// event; the service replies with ⟨stage, parallelism limit(, class)⟩.
+//
+// Example:
+//
+//	decima-server -addr 127.0.0.1:7764 -executors 25 -model model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/rpcsvc"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7764", "listen address")
+		executors = flag.Int("executors", 25, "executor count the model was built for")
+		model     = flag.String("model", "", "optional trained model to load")
+		sampled   = flag.Bool("sampled", false, "sample actions instead of greedy argmax")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	agent := core.New(core.DefaultConfig(*executors), rand.New(rand.NewSource(*seed)))
+	if *model != "" {
+		if err := agent.Load(*model); err != nil {
+			log.Fatalf("load model: %v", err)
+		}
+	}
+	agent.Greedy = !*sampled
+
+	srv, err := rpcsvc.ListenAndServe(*addr, agent)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("decima scheduling service listening on %s\n", srv.Addr())
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+}

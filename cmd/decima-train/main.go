@@ -1,0 +1,115 @@
+// Command decima-train trains a Decima scheduling agent in the cluster
+// simulator and writes the model (and optionally a learning-curve CSV) to
+// disk.
+//
+// Examples:
+//
+//	decima-train -executors 25 -iters 500 -out model.gob
+//	decima-train -workload trace -objective makespan -curve curve.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		executors = flag.Int("executors", 25, "number of executors in the simulated cluster")
+		iters     = flag.Int("iters", 300, "training iterations")
+		episodes  = flag.Int("episodes", 6, "episodes per iteration (same arrival sequence)")
+		jobs      = flag.Int("jobs", 10, "jobs per training episode")
+		wl        = flag.String("workload", "tpch", "training workload: tpch | trace")
+		load      = flag.Float64("load", 0.85, "target cluster load for continuous arrivals (0 = batched)")
+		objective = flag.String("objective", "jct", "objective: jct | makespan")
+		lr        = flag.Float64("lr", 3e-3, "Adam learning rate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "decima-model.gob", "model output path")
+		curve     = flag.String("curve", "", "optional learning-curve CSV output path")
+		logEvery  = flag.Int("log-every", 10, "print stats every N iterations")
+	)
+	flag.Parse()
+
+	acfg := core.DefaultConfig(*executors)
+	agent := core.New(acfg, rand.New(rand.NewSource(*seed)))
+
+	tcfg := rl.DefaultConfig()
+	tcfg.EpisodesPerIter = *episodes
+	tcfg.LR = *lr
+	if *objective == "makespan" {
+		tcfg.Objective = rl.ObjMakespan
+	}
+
+	var src rl.JobSource
+	switch *wl {
+	case "tpch":
+		iat := 0.0
+		if *load > 0 {
+			iat = workload.IATForLoad(*load, *executors)
+		}
+		src = func(rng *rand.Rand) []*dag.Job {
+			if iat > 0 {
+				return workload.Poisson(rng, *jobs, iat)
+			}
+			return workload.Batch(rng, *jobs)
+		}
+	case "trace":
+		src = func(rng *rand.Rand) []*dag.Job {
+			return workload.IndustrialTrace(rng, workload.IndustrialTraceConfig{
+				NumJobs: *jobs, MeanIAT: 20, MaxStages: 50,
+			})
+		}
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	simCfg := sim.SparkDefaults(*executors)
+	tr := rl.NewTrainer(agent, tcfg, rand.New(rand.NewSource(*seed+1)))
+
+	var curveRows [][]string
+	stats := tr.Train(*iters, src, simCfg, func(st rl.IterStats) {
+		curveRows = append(curveRows, []string{
+			strconv.Itoa(st.Iter),
+			fmt.Sprintf("%.3f", st.MeanReturn),
+			fmt.Sprintf("%.3f", st.MeanJCT),
+			fmt.Sprintf("%.1f", st.MeanSteps),
+			fmt.Sprintf("%.3f", st.Entropy),
+		})
+		if st.Iter%*logEvery == 0 {
+			fmt.Printf("iter %4d  return %10.1f  jct %8.1f  steps %5.0f  entropy %.2f\n",
+				st.Iter, st.MeanReturn, st.MeanJCT, st.MeanSteps, st.Entropy)
+		}
+	})
+	_ = stats
+
+	if err := agent.Save(*out); err != nil {
+		log.Fatalf("save model: %v", err)
+	}
+	fmt.Printf("model written to %s\n", *out)
+
+	if *curve != "" {
+		f, err := os.Create(*curve)
+		if err != nil {
+			log.Fatalf("create curve file: %v", err)
+		}
+		w := csv.NewWriter(f)
+		_ = w.Write([]string{"iter", "mean_return", "mean_jct", "mean_steps", "entropy"})
+		_ = w.WriteAll(curveRows)
+		w.Flush()
+		if err := f.Close(); err != nil {
+			log.Fatalf("close curve file: %v", err)
+		}
+		fmt.Printf("learning curve written to %s\n", *curve)
+	}
+}

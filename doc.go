@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Learning Scheduling
+// Algorithms for Data Processing Clusters" (Mao et al., SIGCOMM 2019) —
+// Decima, the reinforcement-learning cluster scheduler for DAG-structured
+// data-processing jobs.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The repository-level benchmarks (bench_test.go) regenerate every table
+// and figure of the paper's evaluation at a small scale; cmd/decima-bench
+// runs them at larger scales.
+package repro

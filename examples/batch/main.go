@@ -1,0 +1,90 @@
+// Batched arrivals (the Fig. 9a scenario): a batch of random TPC-H jobs on
+// a shared cluster, scheduled by all seven baseline heuristics of §7.1
+// plus Decima, with an ASCII rendering of the best schedule's timeline.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const executors = 15
+
+func main() {
+	jobs := workload.Batch(rand.New(rand.NewSource(7)), 12)
+	simCfg := sim.SparkDefaults(executors)
+	simCfg.RecordTimeline = true
+
+	type entry struct {
+		name string
+		res  *sim.Result
+	}
+	var entries []entry
+	run := func(name string, s sim.Scheduler) {
+		res := sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(1))).Run()
+		entries = append(entries, entry{name, res})
+	}
+	run("fifo", sched.NewFIFO())
+	run("sjf-cp", sched.NewSJFCP())
+	run("fair", sched.NewFair())
+	run("naive-weighted-fair", sched.NewNaiveWeightedFair())
+	run("opt-weighted-fair", sched.NewWeightedFair(-1))
+	run("tetris", sched.NewTetris())
+	run("graphene*", sched.NewGraphene(sched.DefaultGrapheneConfig()))
+
+	agent := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(2)))
+	src := func(r *rand.Rand) []*dag.Job { return workload.Batch(r, 12) }
+	cfg := rl.DefaultConfig()
+	cfg.EpisodesPerIter = 4
+	fmt.Println("training decima for 80 iterations...")
+	rl.NewTrainer(agent, cfg, rand.New(rand.NewSource(3))).Train(80, src, simCfg, nil)
+	agent.Greedy = true
+	run("decima", agent)
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].res.AvgJCT() < entries[j].res.AvgJCT() })
+	fmt.Printf("\n%-22s %12s %12s\n", "scheduler", "avg JCT [s]", "makespan [s]")
+	for _, e := range entries {
+		fmt.Printf("%-22s %12.1f %12.1f\n", e.name, e.res.AvgJCT(), e.res.Makespan)
+	}
+
+	fmt.Printf("\nschedule of the best policy (%s); one row per executor, letters = jobs:\n\n", entries[0].name)
+	fmt.Println(renderTimeline(entries[0].res, executors, 100))
+}
+
+// renderTimeline draws a Fig. 3-style schedule: executors as rows, time as
+// columns, one letter per job, '.' for idle.
+func renderTimeline(res *sim.Result, executors, width int) string {
+	if len(res.Timeline) == 0 {
+		return "(no timeline)"
+	}
+	end := res.Makespan
+	var b strings.Builder
+	for e := 0; e < executors; e++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range res.Timeline {
+			if iv.ExecID != e {
+				continue
+			}
+			lo := int(iv.Start / end * float64(width))
+			hi := int(iv.End / end * float64(width))
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = byte('A' + iv.JobID%26)
+			}
+		}
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+// Multi-resource packing (the Fig. 11 scenario): four executor memory
+// classes, jobs with per-stage memory requests, comparing Tetris,
+// Graphene* and Decima with an executor-class usage breakdown.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	simCfg := sim.SparkDefaults(0)
+	simCfg.Classes = []sim.ExecutorClass{
+		{Mem: 0.25, Count: 4},
+		{Mem: 0.5, Count: 4},
+		{Mem: 0.75, Count: 4},
+		{Mem: 1.0, Count: 4},
+	}
+	total := 16
+	jobs := workload.Poisson(rand.New(rand.NewSource(21)), 40, workload.IATForLoad(0.7, total))
+
+	type entry struct {
+		name string
+		res  *sim.Result
+	}
+	var entries []entry
+	run := func(name string, s sim.Scheduler) {
+		res := sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(1))).Run()
+		entries = append(entries, entry{name, res})
+	}
+	run("opt-weighted-fair", sched.NewWeightedFair(-1))
+	run("tetris", sched.NewTetris())
+	run("graphene*", sched.NewGraphene(sched.DefaultGrapheneConfig()))
+
+	acfg := core.DefaultConfig(total)
+	acfg.ClassMem = []float64{0.25, 0.5, 0.75, 1.0}
+	agent := core.New(acfg, rand.New(rand.NewSource(2)))
+	src := func(r *rand.Rand) []*dag.Job { return workload.Batch(r, 8) }
+	cfg := rl.DefaultConfig()
+	cfg.EpisodesPerIter = 4
+	fmt.Println("training decima (with executor-class head) for 60 iterations...")
+	rl.NewTrainer(agent, cfg, rand.New(rand.NewSource(3))).Train(60, src, simCfg, nil)
+	agent.Greedy = true
+	run("decima", agent)
+
+	fmt.Printf("\n%-20s %12s   executor-seconds by class (0.25/0.5/0.75/1.0)\n", "scheduler", "avg JCT [s]")
+	for _, e := range entries {
+		var byClass [4]float64
+		for _, rec := range e.res.Completed {
+			for c, s := range rec.ExecutorSeconds {
+				byClass[c] += s
+			}
+		}
+		fmt.Printf("%-20s %12.1f   %8.0f %8.0f %8.0f %8.0f\n",
+			e.name, e.res.AvgJCT(), byClass[0], byClass[1], byClass[2], byClass[3])
+	}
+}

@@ -1,0 +1,131 @@
+package repro
+
+// End-to-end integration tests spanning every layer: workload → training →
+// model persistence → RPC service → simulation → metrics.
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/rl"
+	"repro/internal/rpcsvc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestEndToEndTrainSaveServeSchedule trains an agent briefly, saves it,
+// loads it into a fresh agent behind the RPC service, and drives a
+// simulation over TCP — the full §6 deployment path.
+func TestEndToEndTrainSaveServeSchedule(t *testing.T) {
+	const executors = 6
+	simCfg := sim.SparkDefaults(executors)
+	src := func(rng *rand.Rand) []*dag.Job { return workload.Batch(rng, 4) }
+
+	agent := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(1)))
+	cfg := rl.DefaultConfig()
+	cfg.EpisodesPerIter = 2
+	cfg.InitialHorizon = 200
+	rl.NewTrainer(agent, cfg, rand.New(rand.NewSource(2))).Train(5, src, simCfg, nil)
+
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := agent.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	served := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(3)))
+	if err := served.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	served.Greedy = true
+	srv, err := rpcsvc.ListenAndServe("127.0.0.1:0", served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := rpcsvc.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	jobs := workload.Batch(rand.New(rand.NewSource(4)), 5)
+	res := sim.New(simCfg, jobs, &rpcsvc.RemoteScheduler{Client: cli}, rand.New(rand.NewSource(5))).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("remote trained agent failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+	if res.AvgJCT() <= 0 {
+		t.Fatal("no JCT recorded")
+	}
+
+	// The served (loaded) model must behave identically to the original
+	// agent run locally in greedy mode.
+	agent.Greedy = true
+	agent.Hook = nil
+	local := sim.New(simCfg, workload.Batch(rand.New(rand.NewSource(4)), 5), agent, rand.New(rand.NewSource(5))).Run()
+	if local.AvgJCT() != res.AvgJCT() {
+		t.Fatalf("served model diverges from local: %v vs %v", res.AvgJCT(), local.AvgJCT())
+	}
+}
+
+// TestAllSchedulersOnAllWorkloads is a broad compatibility sweep: every
+// scheduler completes every workload family without deadlock.
+func TestAllSchedulersOnAllWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	workloads := map[string][]*dag.Job{
+		"tpch-batch":   workload.Batch(rng, 6),
+		"tpch-poisson": workload.Poisson(rng, 6, 30),
+		"trace": workload.IndustrialTrace(rng, workload.IndustrialTraceConfig{
+			NumJobs: 5, MeanIAT: 10, MaxStages: 15,
+		}),
+	}
+	agent := core.New(core.DefaultConfig(8), rand.New(rand.NewSource(11)))
+	agent.Greedy = true
+	schedulers := map[string]sim.Scheduler{
+		"fifo":     sched.NewFIFO(),
+		"sjf-cp":   sched.NewSJFCP(),
+		"fair":     sched.NewFair(),
+		"wfair":    sched.NewWeightedFair(-1),
+		"tetris":   sched.NewTetris(),
+		"graphene": sched.NewGraphene(sched.DefaultGrapheneConfig()),
+		"decima":   agent,
+	}
+	for wname, jobs := range workloads {
+		for sname, s := range schedulers {
+			res := sim.New(sim.SparkDefaults(8), workload.CloneAll(jobs), s, rand.New(rand.NewSource(12))).Run()
+			if res.Deadlock || res.Unfinished != 0 {
+				t.Fatalf("%s on %s: unfinished=%d deadlock=%v", sname, wname, res.Unfinished, res.Deadlock)
+			}
+		}
+	}
+}
+
+// TestLittlesLawConsistency checks the reward bookkeeping against queueing
+// theory: the job-seconds integral equals the sum of JCTs when every job
+// completes (both equal ∫ #jobs dt).
+func TestLittlesLawConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	jobs := workload.Poisson(rng, 10, 30)
+	res := sim.New(sim.SparkDefaults(6), jobs, sched.NewFair(), rng).Run()
+	if res.Unfinished != 0 {
+		t.Fatal("jobs unfinished")
+	}
+	var sumJCT float64
+	for _, j := range metrics.JCTs(res.Completed) {
+		sumJCT += j
+	}
+	if diff := absF(sumJCT-res.JobSeconds) / sumJCT; diff > 1e-9 {
+		t.Fatalf("Little's law violated: ΣJCT=%v vs ∫jobs dt=%v", sumJCT, res.JobSeconds)
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

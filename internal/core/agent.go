@@ -1,0 +1,266 @@
+// Package core is the paper's primary contribution assembled: the Decima
+// scheduling agent. It extracts the state observation of §6.1 from the
+// simulator, embeds it with the graph neural network of §5.1, decodes the
+// two-dimensional ⟨stage, parallelism limit⟩ actions of §5.2 (plus an
+// executor class in the multi-resource setting of §7.3) through the policy
+// network, and exposes everything behind sim.Scheduler so the same agent
+// runs in training rollouts, evaluation, and the RPC scheduling service.
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/gnn"
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// baseFeatures is the number of per-node features of §6.1: remaining
+// tasks, mean task duration, executors on the job, free executors, a
+// locality flag, and remaining stage work.
+const baseFeatures = 6
+
+// Config parameterises the agent and its ablations.
+type Config struct {
+	// NumLimits is the number of discrete parallelism levels; use the
+	// cluster's executor count.
+	NumLimits int
+	// ClassMem lists executor-class memory sizes; empty disables the class
+	// head (single-resource setting).
+	ClassMem []float64
+	// EmbedDim and Hidden size the GNN and policy networks.
+	EmbedDim int
+	Hidden   []int
+	// NoGraphEmbedding ablates the GNN: raw node features feed the score
+	// functions directly (Fig. 14, "w/o graph embedding").
+	NoGraphEmbedding bool
+	// NoParallelismControl ablates the limit head: every action requests
+	// all executors (Fig. 14, "w/o parallelism control").
+	NoParallelismControl bool
+	// NoTaskDurations zeroes duration-derived features (Appendix J,
+	// incomplete information).
+	NoTaskDurations bool
+	// UseIATFeature appends the workload's mean interarrival time as a
+	// state feature (Table 2, "with interarrival time hints").
+	UseIATFeature bool
+	// IATHint is the value of that feature, in seconds.
+	IATHint float64
+	// StageLevelLimits and NoLimitInput select the alternative action
+	// encodings of Fig. 15a.
+	StageLevelLimits bool
+	NoLimitInput     bool
+	// SingleLevelGNN ablates the two-level aggregation (Appendix E).
+	SingleLevelGNN bool
+}
+
+// DefaultConfig returns the standard agent configuration for a cluster of
+// the given size.
+func DefaultConfig(numExecutors int) Config {
+	return Config{NumLimits: numExecutors, EmbedDim: 8, Hidden: []int{16, 8}}
+}
+
+// FeatDim returns the node feature dimensionality implied by the config.
+func (c Config) FeatDim() int {
+	d := baseFeatures
+	if c.UseIATFeature {
+		d++
+	}
+	return d
+}
+
+// Step records one decision during an episode, carrying everything the
+// REINFORCE trainer needs: the differentiable log-probability, the policy
+// entropy, and the reward bookkeeping values of §5.3.
+type Step struct {
+	// LogProb is log π_θ(a_k | s_k), differentiable.
+	LogProb *nn.Tensor
+	// Entropy is the node-selection entropy, differentiable.
+	Entropy *nn.Tensor
+	// Time is the simulation time t_k of the action.
+	Time float64
+	// JobSeconds is the ∫#jobs dt integral at decision time; consecutive
+	// differences give the −(t_k − t_{k−1})·J penalty.
+	JobSeconds float64
+	// NumJobs is the number of jobs in the system at decision time.
+	NumJobs int
+}
+
+// Agent is the Decima scheduler.
+type Agent struct {
+	Cfg Config
+	GNN *gnn.GNN
+	Pol *policy.Policy
+
+	// Greedy switches from sampling (training) to argmax (evaluation).
+	Greedy bool
+	// Hook, when set, receives every decision's Step during simulation.
+	Hook func(*Step)
+
+	rng *rand.Rand
+}
+
+// New builds an agent with freshly initialised networks.
+func New(cfg Config, rng *rand.Rand) *Agent {
+	if cfg.EmbedDim == 0 {
+		cfg.EmbedDim = 8
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{16, 8}
+	}
+	embedDim := cfg.EmbedDim
+	if cfg.NoGraphEmbedding {
+		// Raw features feed the score functions directly, so the policy's
+		// "embedding" dimensionality is the feature dimensionality.
+		embedDim = cfg.FeatDim()
+	}
+	a := &Agent{Cfg: cfg, rng: rng}
+	if !cfg.NoGraphEmbedding {
+		a.GNN = gnn.New(gnn.Config{
+			FeatDim:     cfg.FeatDim(),
+			EmbedDim:    cfg.EmbedDim,
+			Hidden:      cfg.Hidden,
+			SingleLevel: cfg.SingleLevelGNN,
+		}, rng)
+	}
+	a.Pol = policy.New(policy.Config{
+		EmbedDim:         embedDim,
+		Hidden:           cfg.Hidden,
+		NumLimits:        cfg.NumLimits,
+		NumClasses:       len(cfg.ClassMem),
+		NoLimitInput:     cfg.NoLimitInput,
+		StageLevelLimits: cfg.StageLevelLimits,
+	}, rng)
+	return a
+}
+
+// Params returns all trainable tensors in a stable order.
+func (a *Agent) Params() []*nn.Tensor {
+	var ps []*nn.Tensor
+	if a.GNN != nil {
+		ps = append(ps, a.GNN.Params()...)
+	}
+	return append(ps, a.Pol.Params()...)
+}
+
+// Save writes the agent's parameters to a file.
+func (a *Agent) Save(path string) error { return nn.SaveParamsFile(path, a.Params()) }
+
+// Load reads parameters written by Save.
+func (a *Agent) Load(path string) error { return nn.LoadParamsFile(path, a.Params()) }
+
+// Features builds the §6.1 feature matrix for one job in the given state.
+func (a *Agent) Features(s *sim.State, j *sim.JobState) *nn.Tensor {
+	freeTotal := len(s.FreeExecutors)
+	local := 0.0
+	for _, e := range s.FreeExecutors {
+		if e.LocalTo(j) {
+			local = 1
+			break
+		}
+	}
+	d := a.Cfg.FeatDim()
+	f := nn.Zeros(len(j.Stages), d)
+	for i, st := range j.Stages {
+		remaining := float64(st.Stage.NumTasks - st.TasksDone)
+		dur := st.Stage.TaskDuration
+		work := st.RemainingWork()
+		if a.Cfg.NoTaskDurations {
+			dur, work = 0, 0
+		}
+		f.Set(i, 0, remaining/100)
+		f.Set(i, 1, dur/10)
+		f.Set(i, 2, float64(j.Executors)/float64(maxInt(a.Cfg.NumLimits, 1)))
+		f.Set(i, 3, float64(freeTotal)/float64(maxInt(s.TotalExecutors, 1)))
+		f.Set(i, 4, local)
+		f.Set(i, 5, work/1000)
+		if a.Cfg.UseIATFeature {
+			f.Set(i, 6, a.Cfg.IATHint/100)
+		}
+	}
+	return f
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// embed produces embeddings for the state, honouring the GNN ablation.
+func (a *Agent) embed(s *sim.State) *gnn.Embeddings {
+	graphs := make([]*gnn.Graph, len(s.Jobs))
+	for i, j := range s.Jobs {
+		graphs[i] = gnn.NewGraph(j.Job, a.Features(s, j))
+	}
+	if a.GNN != nil {
+		return a.GNN.Forward(graphs)
+	}
+	// Ablation: identity "embeddings" from raw features with zero job and
+	// global summaries.
+	emb := &gnn.Embeddings{
+		Jobs:   nn.Zeros(len(s.Jobs), a.Cfg.FeatDim()),
+		Global: nn.Zeros(1, a.Cfg.FeatDim()),
+	}
+	for _, g := range graphs {
+		emb.Nodes = append(emb.Nodes, g.Feats)
+	}
+	return emb
+}
+
+// Schedule implements sim.Scheduler: one invocation produces one
+// ⟨stage, limit(, class)⟩ action.
+func (a *Agent) Schedule(s *sim.State) *sim.Action {
+	var cands []policy.Candidate
+	var stages []*sim.StageState
+	var minLimits []int
+	var classOKs [][]bool
+	for ji, j := range s.Jobs {
+		for ni, st := range j.Stages {
+			if !st.Runnable() || s.FreeCount(st) == 0 {
+				continue
+			}
+			cands = append(cands, policy.Candidate{JobIdx: ji, NodeIdx: ni})
+			stages = append(stages, st)
+			minLimits = append(minLimits, j.Executors+1)
+			if len(a.Cfg.ClassMem) > 1 {
+				ok := make([]bool, len(a.Cfg.ClassMem))
+				for _, e := range s.FreeExecutors {
+					if e.Mem >= st.Stage.MemReq {
+						ok[e.Class] = true
+					}
+				}
+				classOKs = append(classOKs, ok)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	emb := a.embed(s)
+	req := policy.Request{
+		Cands:     cands,
+		MinLimits: minLimits,
+		ClassMem:  a.Cfg.ClassMem,
+		Greedy:    a.Greedy,
+	}
+	if classOKs != nil {
+		req.ClassOKPer = classOKs
+	}
+	dec := a.Pol.Decide(emb, req, a.rng)
+	if a.Hook != nil {
+		a.Hook(&Step{
+			LogProb:    dec.LogProb,
+			Entropy:    dec.Entropy,
+			Time:       s.Time,
+			JobSeconds: s.JobSeconds,
+			NumJobs:    len(s.Jobs),
+		})
+	}
+	limit := dec.Limit
+	if a.Cfg.NoParallelismControl {
+		limit = s.TotalExecutors
+	}
+	return &sim.Action{Stage: stages[dec.Choice], Limit: limit, Class: dec.Class}
+}

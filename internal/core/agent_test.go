@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func newAgent(execs int) *Agent {
+	return New(DefaultConfig(execs), rand.New(rand.NewSource(1)))
+}
+
+func TestAgentCompletesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	jobs := workload.Batch(rng, 6)
+	a := newAgent(10)
+	res := sim.New(sim.SparkDefaults(10), jobs, a, rng).Run()
+	if res.Deadlock {
+		t.Fatal("agent deadlocked")
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d jobs unfinished", res.Unfinished)
+	}
+}
+
+func TestAgentCompletesContinuous(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	jobs := workload.Poisson(rng, 10, workload.IATForLoad(0.5, 10))
+	a := newAgent(10)
+	res := sim.New(sim.SparkDefaults(10), jobs, a, rng).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+}
+
+func TestHookRecordsSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	jobs := workload.Batch(rng, 4)
+	a := newAgent(8)
+	var steps []*Step
+	a.Hook = func(s *Step) { steps = append(steps, s) }
+	res := sim.New(sim.SparkDefaults(8), jobs, a, rng).Run()
+	if len(steps) == 0 {
+		t.Fatal("hook never fired")
+	}
+	if len(steps) > res.Invocations {
+		t.Fatalf("more steps (%d) than invocations (%d)", len(steps), res.Invocations)
+	}
+	prevT, prevJS := -1.0, -1.0
+	for _, s := range steps {
+		if s.Time < prevT || s.JobSeconds < prevJS {
+			t.Fatal("steps not monotone in time / job-seconds")
+		}
+		prevT, prevJS = s.Time, s.JobSeconds
+		if s.LogProb == nil || s.LogProb.Value() > 1e-9 {
+			t.Fatal("invalid log prob")
+		}
+		if s.NumJobs < 1 {
+			t.Fatal("decision with no jobs in system")
+		}
+	}
+}
+
+func TestProgressRuleMinLimit(t *testing.T) {
+	// Decima enforces limits above the job's current allocation: every
+	// action must assign at least one executor, so the simulator's
+	// scheduling loop always progresses. Indirect check: with executors
+	// outnumbering work the batch still completes (no livelock), and
+	// invocations stay finite.
+	rng := rand.New(rand.NewSource(5))
+	jobs := workload.Batch(rng, 2)
+	a := newAgent(30)
+	res := sim.New(sim.SparkDefaults(30), jobs, a, rng).Run()
+	if res.Unfinished != 0 {
+		t.Fatal("jobs unfinished")
+	}
+}
+
+func TestGreedyReproducible(t *testing.T) {
+	run := func() float64 {
+		rng := rand.New(rand.NewSource(6))
+		jobs := workload.Batch(rng, 5)
+		a := New(DefaultConfig(8), rand.New(rand.NewSource(7)))
+		a.Greedy = true
+		return sim.New(sim.SparkDefaults(8), jobs, a, rng).Run().AvgJCT()
+	}
+	if run() != run() {
+		t.Fatal("greedy evaluation not reproducible")
+	}
+}
+
+func TestMultiResourceAgent(t *testing.T) {
+	cfg := DefaultConfig(12)
+	cfg.ClassMem = []float64{0.25, 0.5, 0.75, 1.0}
+	a := New(cfg, rand.New(rand.NewSource(8)))
+	rng := rand.New(rand.NewSource(9))
+	jobs := workload.Batch(rng, 5)
+	simCfg := sim.Config{
+		Classes: []sim.ExecutorClass{
+			{Mem: 0.25, Count: 3}, {Mem: 0.5, Count: 3}, {Mem: 0.75, Count: 3}, {Mem: 1.0, Count: 3},
+		},
+		FirstWaveFactor: 1,
+	}
+	res := sim.New(simCfg, jobs, a, rng).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("multi-resource agent failed: unfinished=%d", res.Unfinished)
+	}
+	// Memory fit invariant: no class ran a stage it cannot hold. The sim
+	// enforces this; verify through executor seconds of a high-mem job.
+	for _, r := range res.Completed {
+		for class, secs := range r.ExecutorSeconds {
+			if secs < 0 {
+				t.Fatalf("negative executor seconds for class %d", class)
+			}
+		}
+	}
+}
+
+func TestAblationVariantsRun(t *testing.T) {
+	for name, mod := range map[string]func(*Config){
+		"no-gnn":        func(c *Config) { c.NoGraphEmbedding = true },
+		"no-parallel":   func(c *Config) { c.NoParallelismControl = true },
+		"no-duration":   func(c *Config) { c.NoTaskDurations = true },
+		"iat-feature":   func(c *Config) { c.UseIATFeature = true; c.IATHint = 45 },
+		"stage-level":   func(c *Config) { c.StageLevelLimits = true },
+		"no-lim-input":  func(c *Config) { c.NoLimitInput = true },
+		"single-level":  func(c *Config) { c.SingleLevelGNN = true },
+		"combined-abls": func(c *Config) { c.NoTaskDurations = true; c.UseIATFeature = true },
+	} {
+		cfg := DefaultConfig(8)
+		mod(&cfg)
+		a := New(cfg, rand.New(rand.NewSource(10)))
+		rng := rand.New(rand.NewSource(11))
+		jobs := workload.Batch(rng, 3)
+		res := sim.New(sim.SparkDefaults(8), jobs, a, rng).Run()
+		if res.Deadlock || res.Unfinished != 0 {
+			t.Fatalf("%s: unfinished=%d deadlock=%v", name, res.Unfinished, res.Deadlock)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	a := New(DefaultConfig(8), rand.New(rand.NewSource(12)))
+	if err := a.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b := New(DefaultConfig(8), rand.New(rand.NewSource(99)))
+	if err := b.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for k := range ap[i].Data {
+			if ap[i].Data[k] != bp[i].Data[k] {
+				t.Fatal("parameters differ after load")
+			}
+		}
+	}
+	// A different NumLimits does NOT change parameter shapes — that is the
+	// point of the limit-as-input design (§5.2): one score function serves
+	// every limit value.
+	c := New(DefaultConfig(16), rand.New(rand.NewSource(13)))
+	if err := c.Load(path); err != nil {
+		t.Fatalf("limit-count change broke parameter shapes: %v", err)
+	}
+	// A different embedding width is a real architecture change and must
+	// fail to load.
+	cfg := DefaultConfig(8)
+	cfg.EmbedDim = 16
+	d := New(cfg, rand.New(rand.NewSource(14)))
+	if err := d.Load(path); err == nil {
+		t.Fatal("load into mismatched architecture succeeded")
+	}
+}
+
+func TestFeatureExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	jobs := workload.Batch(rng, 2)
+	a := newAgent(8)
+	var got bool
+	probe := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
+		j := s.Jobs[0]
+		f := a.Features(s, j)
+		if f.Rows != len(j.Stages) || f.Cols != a.Cfg.FeatDim() {
+			t.Fatalf("feature shape %d×%d", f.Rows, f.Cols)
+		}
+		for i := range f.Data {
+			if math.IsNaN(f.Data[i]) || math.IsInf(f.Data[i], 0) {
+				t.Fatal("non-finite feature")
+			}
+		}
+		got = true
+		return a.Schedule(s)
+	})
+	sim.New(sim.SparkDefaults(8), jobs, probe, rng).Run()
+	if !got {
+		t.Fatal("probe never ran")
+	}
+}
+
+func TestNoTaskDurationZeroesFeatures(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.NoTaskDurations = true
+	a := New(cfg, rand.New(rand.NewSource(15)))
+	rng := rand.New(rand.NewSource(16))
+	jobs := workload.Batch(rng, 1)
+	checked := false
+	probe := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
+		f := a.Features(s, s.Jobs[0])
+		for r := 0; r < f.Rows; r++ {
+			if f.At(r, 1) != 0 || f.At(r, 5) != 0 {
+				t.Fatal("duration features not zeroed")
+			}
+		}
+		checked = true
+		return a.Schedule(s)
+	})
+	sim.New(sim.SparkDefaults(8), jobs, probe, rng).Run()
+	if !checked {
+		t.Fatal("probe never ran")
+	}
+}

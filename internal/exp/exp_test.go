@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// microScale keeps every experiment's runtime in the low seconds.
+var microScale = Scale{
+	Executors: 4, BatchJobs: 3, ContinuousJobs: 6, Runs: 2,
+	TrainIters: 2, EpisodesPerIter: 2, Seed: 1,
+}
+
+func TestRegistryRunsEveryExperiment(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, microScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if len(tbl.Header) == 0 || tbl.Title == "" {
+				t.Fatal("missing title/header")
+			}
+			for _, r := range tbl.Rows {
+				if len(r) != len(tbl.Header) {
+					t.Fatalf("row width %d != header width %d: %v", len(r), len(tbl.Header), r)
+				}
+			}
+			if s := tbl.String(); len(s) == 0 {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", microScale); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFig2SweetSpotShape(t *testing.T) {
+	// Q9@100GB keeps improving towards ~40 parallel tasks.
+	r5 := Fig2Runtime(9, 100, 5, 1)
+	r40 := Fig2Runtime(9, 100, 40, 1)
+	if r40 >= r5 {
+		t.Fatalf("Q9@100GB: runtime(40)=%v not below runtime(5)=%v", r40, r5)
+	}
+	// Q2@100GB gains little beyond ~20 tasks.
+	q2at20 := Fig2Runtime(2, 100, 20, 1)
+	q2at100 := Fig2Runtime(2, 100, 100, 1)
+	if q2at100 < q2at20*0.8 {
+		t.Fatalf("Q2@100GB kept scaling past its sweet spot: %v → %v", q2at20, q2at100)
+	}
+	// Q9@2GB needs only a handful of tasks.
+	q9small10 := Fig2Runtime(9, 2, 10, 1)
+	q9small80 := Fig2Runtime(9, 2, 80, 1)
+	if q9small80 < q9small10*0.7 {
+		t.Fatalf("Q9@2GB kept scaling: %v → %v", q9small10, q9small80)
+	}
+}
+
+func TestFig16CriticalPathSuboptimal(t *testing.T) {
+	tbl := Fig16(Scale{Seed: 1})
+	// last row is the cp/planned ratio
+	ratio, err := strconv.ParseFloat(tbl.Rows[2][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1.0 {
+		t.Fatalf("critical-path-first should be slower than planned: ratio %v", ratio)
+	}
+}
+
+func TestFig18DetailedDiffersFromIdealised(t *testing.T) {
+	sc := microScale
+	sc.Runs = 4
+	sc.Executors = 6
+	tbl := Fig18(sc)
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 0 {
+			t.Fatalf("%s: zero error between detailed and idealised sims", row[0])
+		}
+	}
+}
+
+func TestFig19TwoLevelLearnsCriticalPath(t *testing.T) {
+	sc := Scale{Seed: 1, TrainIters: 400}
+	tbl := Fig19(sc, 400)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	two, err := strconv.ParseFloat(last[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two < 50 {
+		t.Fatalf("two-level accuracy after training = %v%%, want ≥ 50%%", two)
+	}
+}
+
+func TestFig22ExhaustiveIsLowerBoundOnOrderings(t *testing.T) {
+	sc := microScale
+	sc.Executors = 5
+	tbl := Fig22(sc)
+	get := func(name string) float64 {
+		for _, r := range tbl.Rows {
+			if r[0] == name {
+				v, err := strconv.ParseFloat(r[1], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return 0
+	}
+	best := get("exhaustive order search")
+	if best > get("sjf-cp")+1e-9 {
+		t.Fatalf("exhaustive (%v) worse than SJF-CP (%v)", best, get("sjf-cp"))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.Add("x", 1.23456)
+	tbl.Add(7, "y")
+	s := tbl.String()
+	if s == "" || len(tbl.Rows) != 2 {
+		t.Fatal("table formatting broken")
+	}
+	if tbl.Rows[0][1] != "1.235" {
+		t.Fatalf("float formatting = %q", tbl.Rows[0][1])
+	}
+}
+
+func TestTuneWeightedFairPicksReasonableAlpha(t *testing.T) {
+	seqs := evalSeqs(2, 6, 99)
+	cfg := simDefaultsForTest()
+	alpha := tuneWeightedFair(seqs, cfg, 1)
+	if alpha < -2 || alpha > 2 {
+		t.Fatalf("alpha %v outside sweep range", alpha)
+	}
+}

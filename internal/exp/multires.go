@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/rl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// multiResSimCfg builds the §7.3 environment at the given scale.
+func multiResSimCfg(sc Scale) sim.Config {
+	perClass := sc.Executors / 4
+	if perClass < 1 {
+		perClass = 1
+	}
+	cfg := sim.SparkDefaults(0)
+	cfg.Classes = multiResClasses(perClass)
+	return cfg
+}
+
+// traceSource adapts the synthetic industrial trace into a training source.
+func traceSource(n int) rl.JobSource {
+	return func(rng *rand.Rand) []*dag.Job {
+		cfg := workload.IndustrialTraceConfig{NumJobs: n, MeanIAT: 0, MaxStages: 20}
+		jobs := workload.IndustrialTrace(rng, cfg)
+		for _, j := range jobs {
+			j.Arrival = 0
+		}
+		return jobs
+	}
+}
+
+// runMultiRes executes the Fig. 11 comparison on the given workload.
+func runMultiRes(sc Scale, title string, jobs []*dag.Job, src rl.JobSource) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"scheduler", "avg_jct_s", "unfinished"},
+	}
+	simCfg := multiResSimCfg(sc)
+	run := func(s sim.Scheduler) *sim.Result {
+		return sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(sc.Seed))).Run()
+	}
+	for _, name := range []string{"opt-wfair", "tetris", "graphene-star"} {
+		res := run(baselines()[name]())
+		t.Add(name, res.AvgJCT(), res.Unfinished)
+	}
+	agent := trainAgent(sc, simCfg, src, nil, nil)
+	agent.Greedy = true
+	res := run(agent)
+	t.Add("decima", res.AvgJCT(), res.Unfinished)
+	return t
+}
+
+// Fig11a reproduces Figure 11a: multi-resource scheduling on the
+// (synthetic) industrial trace replay.
+func Fig11a(sc Scale) *Table {
+	jobs := workload.IndustrialTrace(
+		rand.New(rand.NewSource(sc.Seed+500)),
+		workload.IndustrialTraceConfig{NumJobs: sc.ContinuousJobs, MeanIAT: 20, MaxStages: 30},
+	)
+	return runMultiRes(sc, "Figure 11a: multi-resource, industrial trace replay", jobs, traceSource(sc.BatchJobs))
+}
+
+// Fig11b reproduces Figure 11b: multi-resource scheduling on the TPC-H
+// workload with per-stage memory requests drawn from (0, 1].
+func Fig11b(sc Scale) *Table {
+	jobs := workload.Poisson(
+		rand.New(rand.NewSource(sc.Seed+600)),
+		sc.ContinuousJobs,
+		workload.IATForLoad(0.75, sc.Executors),
+	)
+	return runMultiRes(sc, "Figure 11b: multi-resource, TPC-H workload", jobs, smallJobSource(sc.BatchJobs, 3))
+}
+
+// Fig12 reproduces Figure 12: Decima's multi-resource gains broken down by
+// job size (12a: JCT normalized to Graphene*) and its use of oversized
+// executors on small jobs (12b: largest-class executor seconds on the
+// smallest-20% jobs, normalized to Graphene*).
+func Fig12(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 12: Decima vs Graphene* by job size (multi-resource)",
+		Header: []string{"metric", "value"},
+	}
+	simCfg := multiResSimCfg(sc)
+	jobs := workload.Poisson(
+		rand.New(rand.NewSource(sc.Seed+700)),
+		sc.ContinuousJobs,
+		workload.IATForLoad(0.7, sc.Executors),
+	)
+	graphene := sim.New(simCfg, workload.CloneAll(jobs), sched.NewGraphene(sched.DefaultGrapheneConfig()), rand.New(rand.NewSource(sc.Seed))).Run()
+	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+	agent.Greedy = true
+	decima := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
+
+	// 12a: normalized JCT by total-work quintile.
+	ratios := metrics.PairedRatio(decima.Completed, graphene.Completed, func(r sim.JobRecord) float64 { return r.JCT() })
+	var works, ratioVals []float64
+	workByID := map[int]float64{}
+	for _, r := range decima.Completed {
+		workByID[r.ID] = r.TotalWork
+	}
+	for id, ratio := range ratios {
+		works = append(works, workByID[id])
+		ratioVals = append(ratioVals, ratio)
+	}
+	for i, b := range metrics.GroupByQuantiles(works, ratioVals, 5) {
+		t.Add(addOrdinal("12a: JCT ratio decima/graphene, work quintile", i+1), b.Mean)
+	}
+
+	// 12b: largest-class executor use on the smallest-20% jobs.
+	largestUse := func(r *sim.Result) float64 {
+		var works, use []float64
+		for _, rec := range r.Completed {
+			works = append(works, rec.TotalWork)
+			use = append(use, rec.ExecutorSeconds[3])
+		}
+		bins := metrics.GroupByQuantiles(works, use, 5)
+		if len(bins) == 0 {
+			return 0
+		}
+		return bins[0].Mean
+	}
+	g := largestUse(graphene)
+	d := largestUse(decima)
+	if g > 0 {
+		t.Add("12b: largest-class exec-seconds on small jobs, decima/graphene", d/g)
+	} else {
+		t.Add("12b: largest-class exec-seconds on small jobs (graphene=0), decima", d)
+	}
+	return t
+}
+
+// Fig20 reproduces the Appendix G time-series: concurrent jobs and
+// executors per job over a busy multi-resource run, Decima vs Graphene*.
+func Fig20(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 20: multi-resource time-series (Appendix G)",
+		Header: []string{"metric", "graphene-star", "decima"},
+	}
+	simCfg := multiResSimCfg(sc)
+	jobs := workload.Poisson(
+		rand.New(rand.NewSource(sc.Seed+800)),
+		sc.ContinuousJobs,
+		workload.IATForLoad(0.8, sc.Executors),
+	)
+	g := sim.New(simCfg, workload.CloneAll(jobs), sched.NewGraphene(sched.DefaultGrapheneConfig()), rand.New(rand.NewSource(sc.Seed))).Run()
+	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+	agent.Greedy = true
+	d := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
+
+	peak := func(r *sim.Result) float64 {
+		var p float64
+		for _, pt := range metrics.ConcurrentJobs(r.Completed) {
+			if pt.Value > p {
+				p = pt.Value
+			}
+		}
+		return p
+	}
+	meanExec := func(r *sim.Result) float64 {
+		var xs []float64
+		for _, rec := range r.Completed {
+			var s float64
+			for _, v := range rec.ExecutorSeconds {
+				s += v
+			}
+			xs = append(xs, s/rec.JCT())
+		}
+		return metrics.Mean(xs)
+	}
+	t.Add("peak concurrent jobs (20-1)", peak(g), peak(d))
+	t.Add("mean executors per job (20-2)", meanExec(g), meanExec(d))
+	t.Add("avg JCT (20-3)", g.AvgJCT(), d.AvgJCT())
+	return t
+}
+
+// Fig21 reproduces the Appendix G executor-assignment profile: Decima's
+// executor-seconds per class and per job-size quintile, normalized to
+// Graphene*.
+func Fig21(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 21: executor assignment profile, decima/graphene-star",
+		Header: []string{"work_quintile", "class_0.25", "class_0.5", "class_0.75", "class_1.0"},
+	}
+	simCfg := multiResSimCfg(sc)
+	jobs := workload.Poisson(
+		rand.New(rand.NewSource(sc.Seed+900)),
+		sc.ContinuousJobs,
+		workload.IATForLoad(0.7, sc.Executors),
+	)
+	g := sim.New(simCfg, workload.CloneAll(jobs), sched.NewGraphene(sched.DefaultGrapheneConfig()), rand.New(rand.NewSource(sc.Seed))).Run()
+	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+	agent.Greedy = true
+	d := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
+
+	profile := func(r *sim.Result, class int) []metrics.Bin {
+		var works, use []float64
+		for _, rec := range r.Completed {
+			works = append(works, rec.TotalWork)
+			use = append(use, rec.ExecutorSeconds[class])
+		}
+		return metrics.GroupByQuantiles(works, use, 5)
+	}
+	var gp, dp [4][]metrics.Bin
+	for c := 0; c < 4; c++ {
+		gp[c] = profile(g, c)
+		dp[c] = profile(d, c)
+	}
+	for q := 0; q < 5; q++ {
+		row := make([]any, 0, 5)
+		row = append(row, q+1)
+		for c := 0; c < 4; c++ {
+			if q < len(gp[c]) && q < len(dp[c]) && gp[c][q].Mean > 0 {
+				row = append(row, dp[c][q].Mean/gp[c][q].Mean)
+			} else {
+				row = append(row, "n/a")
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// addOrdinal labels grouped rows.
+func addOrdinal(prefix string, i int) string {
+	return fmt.Sprintf("%s %d", prefix, i)
+}

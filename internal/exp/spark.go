@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/rl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig2 reproduces Figure 2: single-job runtime versus degree of
+// parallelism for TPC-H Q2 and Q9 at different input sizes. The shape to
+// reproduce: Q9@100GB keeps speeding up to ~40 parallel tasks, Q2@100GB
+// flattens near 20, Q9@2GB needs only a handful.
+func Fig2(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 2: job runtime vs degree of parallelism",
+		Header: []string{"query", "size_gb", "parallelism", "runtime_s"},
+	}
+	cases := []struct {
+		q    int
+		size float64
+	}{{9, 2}, {9, 100}, {2, 100}}
+	for _, c := range cases {
+		for _, p := range []int{1, 2, 5, 10, 20, 30, 40, 60, 80, 100} {
+			job := workload.TPCHJob(c.q, c.size)
+			cfg := sim.SparkDefaults(p)
+			cfg.DurationNoise = 0
+			res := sim.New(cfg, []*dag.Job{job}, sched.NewFIFO(), rand.New(rand.NewSource(sc.Seed))).Run()
+			t.Add(fmt.Sprintf("Q%d", c.q), c.size, p, res.Completed[0].JCT())
+		}
+	}
+	return t
+}
+
+// Fig2Runtime exposes the runtime for one (query, size, parallelism) point
+// so tests can assert the sweet-spot shape directly.
+func Fig2Runtime(q int, sizeGB float64, parallelism int, seed int64) float64 {
+	job := workload.TPCHJob(q, sizeGB)
+	cfg := sim.SparkDefaults(parallelism)
+	cfg.DurationNoise = 0
+	res := sim.New(cfg, []*dag.Job{job}, sched.NewFIFO(), rand.New(rand.NewSource(seed))).Run()
+	return res.Completed[0].JCT()
+}
+
+// Fig3 reproduces Figure 3: the illustrative 10-job, 50-slot comparison of
+// FIFO, SJF, fair and Decima scheduling. The paper's shape: Decima < fair <
+// SJF < FIFO on average JCT.
+func Fig3(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 3: 10 random TPC-H jobs on 50 task slots",
+		Header: []string{"scheduler", "avg_jct_s", "makespan_s"},
+	}
+	execs := sc.Executors
+	jobs := workload.Batch(rand.New(rand.NewSource(sc.Seed+7)), 10)
+	seqs := [][]*dag.Job{jobs}
+	simCfg := sim.SparkDefaults(execs)
+
+	for _, name := range []string{"fifo", "sjf-cp", "fair"} {
+		mk := baselines()[name]
+		jct, ms := rl.EvaluateScheduler(mk, seqs, simCfg, sc.Seed)
+		t.Add(name, jct, ms)
+	}
+	agent := trainAgent(sc, simCfg, smallJobSource(10, 3), nil, nil)
+	jct, ms := rl.Evaluate(agent, seqs, simCfg, sc.Seed)
+	t.Add("decima", jct, ms)
+	return t
+}
+
+// Fig9a reproduces Figure 9a: the distribution of average JCT over
+// repeated batched-arrival experiments for all seven baselines plus Decima.
+func Fig9a(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 9a: batched arrivals, avg JCT over experiments",
+		Header: []string{"scheduler", "mean_avg_jct_s", "p25", "p50", "p75"},
+	}
+	simCfg := sim.SparkDefaults(sc.Executors)
+	seqs := evalSeqs(sc.Runs, sc.BatchJobs, sc.Seed+100)
+
+	collect := func(mk func() sim.Scheduler) []float64 {
+		var jcts []float64
+		for i, jobs := range seqs {
+			res := sim.New(simCfg, workload.CloneAll(jobs), mk(), rand.New(rand.NewSource(sc.Seed+int64(i)))).Run()
+			jcts = append(jcts, res.AvgJCT())
+		}
+		return jcts
+	}
+	alpha := tuneWeightedFair(seqs[:min(3, len(seqs))], simCfg, sc.Seed)
+	bl := baselines()
+	bl["opt-wfair"] = func() sim.Scheduler { return sched.NewWeightedFair(alpha) }
+	for _, name := range baselineOrder {
+		js := collect(bl[name])
+		t.Add(name, metrics.Mean(js), metrics.Percentile(js, 25), metrics.Percentile(js, 50), metrics.Percentile(js, 75))
+	}
+	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+	var js []float64
+	for i, jobs := range seqs {
+		jct, _ := rl.Evaluate(agent, [][]*dag.Job{jobs}, simCfg, sc.Seed+int64(i))
+		js = append(js, jct)
+	}
+	t.Add("decima", metrics.Mean(js), metrics.Percentile(js, 25), metrics.Percentile(js, 50), metrics.Percentile(js, 75))
+	return t
+}
+
+// Fig9b reproduces Figure 9b: continuous Poisson arrivals at high load,
+// comparing Decima against the tuned weighted-fair heuristic (the only
+// baseline that keeps up at 85% load in the paper).
+func Fig9b(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 9b: continuous arrivals (≈85% load)",
+		Header: []string{"scheduler", "avg_jct_s", "completed", "unfinished"},
+	}
+	simCfg := sim.SparkDefaults(sc.Executors)
+	iat := workload.IATForLoad(0.85, sc.Executors)
+	jobs := workload.Poisson(rand.New(rand.NewSource(sc.Seed+200)), sc.ContinuousJobs, iat)
+
+	run := func(s sim.Scheduler) *sim.Result {
+		return sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(sc.Seed))).Run()
+	}
+	for _, name := range []string{"fair", "opt-wfair"} {
+		res := run(baselines()[name]())
+		t.Add(name, res.AvgJCT(), len(res.Completed), res.Unfinished)
+	}
+	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+	agent.Greedy = true
+	res := run(agent)
+	t.Add("decima", res.AvgJCT(), len(res.Completed), res.Unfinished)
+	return t
+}
+
+// Fig10 reproduces the Figure 10 time-series analysis of a continuous run:
+// peak concurrent jobs, JCT by job size, executor shares for small jobs,
+// and work inflation, Decima versus the tuned weighted-fair heuristic.
+func Fig10(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 10: time-series analysis of continuous arrivals",
+		Header: []string{"metric", "opt-wfair", "decima"},
+	}
+	simCfg := sim.SparkDefaults(sc.Executors)
+	iat := workload.IATForLoad(0.8, sc.Executors)
+	jobs := workload.Poisson(rand.New(rand.NewSource(sc.Seed+300)), sc.ContinuousJobs, iat)
+
+	heur := sim.New(simCfg, workload.CloneAll(jobs), sched.NewWeightedFair(-1), rand.New(rand.NewSource(sc.Seed))).Run()
+	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+	agent.Greedy = true
+	dec := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
+
+	peak := func(r *sim.Result) float64 {
+		var p float64
+		for _, pt := range metrics.ConcurrentJobs(r.Completed) {
+			if pt.Value > p {
+				p = pt.Value
+			}
+		}
+		return p
+	}
+	t.Add("peak concurrent jobs (10a)", peak(heur), peak(dec))
+	t.Add("avg JCT (10b)", heur.AvgJCT(), dec.AvgJCT())
+
+	smallJCT := func(r *sim.Result) float64 {
+		var works, jcts []float64
+		for _, rec := range r.Completed {
+			works = append(works, rec.TotalWork)
+			jcts = append(jcts, rec.JCT())
+		}
+		bins := metrics.GroupByQuantiles(works, jcts, 5)
+		if len(bins) == 0 {
+			return 0
+		}
+		return bins[0].Mean
+	}
+	t.Add("small-job (lowest quintile) JCT (10c)", smallJCT(heur), smallJCT(dec))
+
+	execSecs := func(r *sim.Result) float64 {
+		var works, secs []float64
+		for _, rec := range r.Completed {
+			var s float64
+			for _, v := range rec.ExecutorSeconds {
+				s += v
+			}
+			works = append(works, rec.TotalWork)
+			secs = append(secs, s/rec.JCT()) // mean executors held
+		}
+		bins := metrics.GroupByQuantiles(works, secs, 5)
+		if len(bins) == 0 {
+			return 0
+		}
+		return bins[0].Mean
+	}
+	t.Add("small-job mean executors (10d)", execSecs(heur), execSecs(dec))
+
+	inflation := func(r *sim.Result) float64 {
+		var ratios []float64
+		for _, rec := range r.Completed {
+			if rec.TotalWork > 0 {
+				ratios = append(ratios, rec.WorkExecuted/rec.TotalWork)
+			}
+		}
+		return metrics.Mean(ratios)
+	}
+	t.Add("work inflation executed/ideal (10e)", inflation(heur), inflation(dec))
+	return t
+}
+
+// Fig15b reproduces Figure 15b: the distribution of Decima's scheduling
+// delay versus the interval between scheduling events, measured in
+// wall-clock time around agent invocations.
+func Fig15b(sc Scale) *Table {
+	t := &Table{
+		Title:  "Figure 15b: scheduling delay vs event interval",
+		Header: []string{"metric", "p50_ms", "p95_ms", "mean_ms"},
+	}
+	simCfg := sim.SparkDefaults(sc.Executors)
+	agent := trainAgent(Scale{Executors: sc.Executors, TrainIters: 0, EpisodesPerIter: 1, Seed: sc.Seed}, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+	agent.Greedy = true
+
+	var delays, intervals []float64
+	timed := &timedScheduler{inner: agent, delays: &delays, intervals: &intervals}
+	jobs := workload.Poisson(rand.New(rand.NewSource(sc.Seed+400)), sc.ContinuousJobs, workload.IATForLoad(0.7, sc.Executors))
+	sim.New(simCfg, jobs, timed, rand.New(rand.NewSource(sc.Seed))).Run()
+
+	t.Add("scheduling delay", metrics.Percentile(delays, 50), metrics.Percentile(delays, 95), metrics.Mean(delays))
+	t.Add("sim event interval (ms of sim-time)", metrics.Percentile(intervals, 50), metrics.Percentile(intervals, 95), metrics.Mean(intervals))
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

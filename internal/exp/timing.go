@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// timedScheduler wraps a scheduler, recording wall-clock decision latency
+// (in milliseconds) and the simulated interval between scheduling events
+// (in milliseconds of simulated time), for Figure 15b.
+type timedScheduler struct {
+	inner     sim.Scheduler
+	delays    *[]float64
+	intervals *[]float64
+	lastSimT  float64
+	seen      bool
+}
+
+// Schedule implements sim.Scheduler.
+func (t *timedScheduler) Schedule(s *sim.State) *sim.Action {
+	if t.seen {
+		*t.intervals = append(*t.intervals, (s.Time-t.lastSimT)*1000)
+	}
+	t.lastSimT = s.Time
+	t.seen = true
+	start := time.Now()
+	act := t.inner.Schedule(s)
+	*t.delays = append(*t.delays, float64(time.Since(start).Microseconds())/1000)
+	return act
+}

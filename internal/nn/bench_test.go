@@ -1,0 +1,31 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMLPForward measures the forward cost of the paper's score-
+// function shape (two hidden layers, 32 and 16 units) on a 64-row batch.
+func BenchmarkMLPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{24, 32, 16, 1}, ActLeakyReLU, rng)
+	x := randTensor(rng, 64, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+// BenchmarkMLPForwardBackward measures one full gradient step.
+func BenchmarkMLPForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP([]int{24, 32, 16, 1}, ActLeakyReLU, rng)
+	x := randTensor(rng, 64, 24)
+	y := randTensor(rng, 64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroGrads(m.Params())
+		MSE(m.Forward(x), y).Backward(1)
+	}
+}

@@ -1,0 +1,193 @@
+// Package nn is a small reverse-mode automatic-differentiation engine and
+// neural-network toolkit built on dense float64 matrices. It provides the
+// substrate Decima's graph neural network and policy network are built on:
+// tensors, differentiable operations, layers, initialisers and optimizers.
+//
+// The engine is deliberately minimal: matrices are row-major, operations
+// allocate fresh result tensors, and Backward walks the recorded computation
+// graph in reverse topological order. Gradients accumulate into Tensor.Grad,
+// so several Backward calls (e.g. one per REINFORCE step) can share one
+// optimizer step.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix participating in the autograd graph.
+// A Tensor created by an operation records its parents and a backward
+// closure; leaf tensors (inputs and parameters) record neither.
+type Tensor struct {
+	// Rows and Cols give the matrix shape. A vector is 1×n or n×1.
+	Rows, Cols int
+	// Data holds the values in row-major order (len Rows*Cols).
+	Data []float64
+	// Grad accumulates d(loss)/d(this); allocated lazily on first use.
+	Grad []float64
+
+	requiresGrad bool
+	parents      []*Tensor
+	backFn       func()
+}
+
+// New returns a rows×cols tensor with the given backing data (not copied).
+// It panics if the data length does not match the shape.
+func New(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("nn: data length %d != %d×%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Zeros returns a rows×cols tensor of zeros.
+func Zeros(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Vector returns a 1×n tensor wrapping the given values (not copied).
+func Vector(v []float64) *Tensor { return New(1, len(v), v) }
+
+// Scalar returns a 1×1 tensor holding v.
+func Scalar(v float64) *Tensor { return New(1, 1, []float64{v}) }
+
+// Param returns a rows×cols tensor initialised with Xavier/Glorot-uniform
+// values and marked as requiring gradients. Parameters are the leaves the
+// optimizer updates.
+func Param(rows, cols int, rng *rand.Rand) *Tensor {
+	t := Zeros(rows, cols)
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	t.requiresGrad = true
+	return t
+}
+
+// ParamZero returns a zero-initialised parameter tensor (typical for biases).
+func ParamZero(rows, cols int) *Tensor {
+	t := Zeros(rows, cols)
+	t.requiresGrad = true
+	return t
+}
+
+// RequiresGrad reports whether the tensor participates in gradient flow,
+// either because it is a parameter or because one of its ancestors is.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// MarkParam marks t as a trainable leaf.
+func (t *Tensor) MarkParam() { t.requiresGrad = true }
+
+// At returns the element at (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// Value returns the single element of a 1×1 tensor and panics otherwise.
+func (t *Tensor) Value() float64 {
+	if t.Rows != 1 || t.Cols != 1 {
+		panic(fmt.Sprintf("nn: Value on %d×%d tensor", t.Rows, t.Cols))
+	}
+	return t.Data[0]
+}
+
+// Clone returns a detached deep copy of the tensor's values.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.Data))
+	copy(d, t.Data)
+	return New(t.Rows, t.Cols, d)
+}
+
+// ensureGrad allocates the gradient buffer if needed.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// ZeroGrad clears the accumulated gradient of this tensor.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// newResult builds an op-result tensor wired to its parents. The backward
+// closure is only retained if some parent requires gradients.
+func newResult(rows, cols int, data []float64, back func(), parents ...*Tensor) *Tensor {
+	t := New(rows, cols, data)
+	for _, p := range parents {
+		if p.requiresGrad {
+			t.requiresGrad = true
+		}
+	}
+	if t.requiresGrad {
+		t.parents = parents
+		t.backFn = back
+	}
+	return t
+}
+
+// Backward runs reverse-mode differentiation from t, which must be a 1×1
+// scalar, seeding d(t)/d(t) = seed. Gradients accumulate into the Grad
+// buffers of every tensor that requires gradients.
+//
+// The seed parameter lets callers weight a loss term without materialising
+// the multiplication in the graph (REINFORCE uses the advantage here).
+func (t *Tensor) Backward(seed float64) {
+	if t.Rows != 1 || t.Cols != 1 {
+		panic("nn: Backward requires a scalar output")
+	}
+	if !t.requiresGrad {
+		return
+	}
+	order := topoSort(t)
+	t.ensureGrad()
+	t.Grad[0] += seed
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backFn != nil {
+			n.backFn()
+		}
+	}
+}
+
+// topoSort returns the ancestors of root (including root) in topological
+// order: parents always appear before children.
+func topoSort(root *Tensor) []*Tensor {
+	var order []*Tensor
+	visited := make(map[*Tensor]bool)
+	// Iterative DFS to avoid recursion depth limits on deep graphs
+	// (message passing over long DAG chains builds deep graphs).
+	type frame struct {
+		t    *Tensor
+		next int
+	}
+	stack := []frame{{t: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.t.parents) {
+			p := f.t.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{t: p})
+			}
+			continue
+		}
+		order = append(order, f.t)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// accumulate adds src into dst's gradient buffer element-wise.
+func accumulate(dst *Tensor, src []float64) {
+	dst.ensureGrad()
+	for i, v := range src {
+		dst.Grad[i] += v
+	}
+}

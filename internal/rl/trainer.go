@@ -1,0 +1,401 @@
+// Package rl implements Decima's training procedure (§5.3, Algorithm 1):
+// REINFORCE policy gradients with
+//
+//   - input-dependent baselines — N episodes per iteration replay the same
+//     job arrival sequence, and each step's baseline is the mean return of
+//     the sibling episodes at the same wall-clock time, removing the
+//     variance the stochastic arrival process injects into rewards;
+//   - curriculum learning — episode horizons are drawn from an exponential
+//     distribution whose mean grows each iteration, so early training sees
+//     short, manageable job sequences (and the memoryless termination
+//     prevents end-of-episode gaming);
+//   - the average-reward formulation — a moving average r̂ of per-step
+//     penalties is subtracted to optimise time-average rather than total
+//     reward (Appendix B).
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Objective selects the reward signal.
+type Objective int
+
+const (
+	// ObjAvgJCT minimises average job completion time via the
+	// −(t_k − t_{k−1})·J penalty (Little's law argument of §5.3).
+	ObjAvgJCT Objective = iota
+	// ObjMakespan minimises the completion time of the last job.
+	ObjMakespan
+)
+
+// Config parameterises training.
+type Config struct {
+	// EpisodesPerIter is N in Algorithm 1: episodes sharing one arrival
+	// sequence per iteration (the paper uses 16 workers).
+	EpisodesPerIter int
+	// LR is Adam's learning rate (paper: 1e-3).
+	LR float64
+	// EntropyWeight scales an exploration bonus added to the policy
+	// gradient; decays by EntropyDecay each iteration.
+	EntropyWeight float64
+	// EntropyDecay multiplies EntropyWeight every iteration (e.g. 0.999).
+	EntropyDecay float64
+	// GradClip bounds the global gradient norm.
+	GradClip float64
+	// InitialHorizon is the starting mean of the exponential episode
+	// length τ, in simulated seconds.
+	InitialHorizon float64
+	// HorizonGrowth is added to the mean horizon every iteration
+	// (curriculum learning's ε).
+	HorizonGrowth float64
+	// MaxHorizon caps the mean horizon.
+	MaxHorizon float64
+	// Objective selects the reward signal.
+	Objective Objective
+	// UnfixedSequences ablates the input-dependent baseline: each episode
+	// of an iteration draws its own arrival sequence (Fig. 14,
+	// "w/o variance reduction").
+	UnfixedSequences bool
+	// NoCurriculum ablates horizon growth: episodes always run to the max
+	// horizon.
+	NoCurriculum bool
+	// DifferentialReward enables the average-reward formulation.
+	DifferentialReward bool
+}
+
+// DefaultConfig returns the training configuration used across the
+// evaluation, scaled for single-core runs.
+func DefaultConfig() Config {
+	return Config{
+		EpisodesPerIter:    4,
+		LR:                 1e-3,
+		EntropyWeight:      0.1,
+		EntropyDecay:       0.995,
+		GradClip:           10,
+		InitialHorizon:     500,
+		HorizonGrowth:      50,
+		MaxHorizon:         20000,
+		Objective:          ObjAvgJCT,
+		DifferentialReward: true,
+	}
+}
+
+// JobSource produces a job arrival sequence for one episode or iteration.
+type JobSource func(rng *rand.Rand) []*dag.Job
+
+// IterStats reports one training iteration.
+type IterStats struct {
+	// Iter is the iteration index.
+	Iter int
+	// MeanReturn is the mean episode return (total reward) across episodes.
+	MeanReturn float64
+	// MeanJCT is the mean JCT of jobs completed within episodes.
+	MeanJCT float64
+	// MeanSteps is the mean number of decisions per episode.
+	MeanSteps float64
+	// Horizon is the mean episode horizon used.
+	Horizon float64
+	// GradNorm is the pre-clip gradient norm.
+	GradNorm float64
+	// Entropy is the mean decision entropy.
+	Entropy float64
+}
+
+// Trainer trains a Decima agent.
+type Trainer struct {
+	Agent *core.Agent
+	Cfg   Config
+
+	opt     *nn.Adam
+	rng     *rand.Rand
+	horizon float64
+	iter    int
+	rbar    float64 // moving average of per-step reward
+	rbarN   float64
+}
+
+// NewTrainer builds a trainer around the agent.
+func NewTrainer(agent *core.Agent, cfg Config, rng *rand.Rand) *Trainer {
+	return &Trainer{
+		Agent:   agent,
+		Cfg:     cfg,
+		opt:     nn.NewAdam(cfg.LR),
+		rng:     rng,
+		horizon: cfg.InitialHorizon,
+	}
+}
+
+// episode is one rollout's record.
+type episode struct {
+	steps   []*core.Step
+	result  *sim.Result
+	returns []float64 // R_k per step
+}
+
+// rollout runs one sampled episode over the given jobs and horizon.
+func (t *Trainer) rollout(jobs []*dag.Job, simCfg sim.Config, horizon float64, seed int64) *episode {
+	ep := &episode{}
+	agent := t.Agent
+	prevHook := agent.Hook
+	defer func() { agent.Hook = prevHook }()
+
+	// The agent is shared across sequential rollouts but never concurrent
+	// ones; hook and greedy state are restored after the run.
+	rng := rand.New(rand.NewSource(seed))
+	agent.Hook = func(s *core.Step) { ep.steps = append(ep.steps, s) }
+	ep.result = sim.New(simCfg, workload.CloneAll(jobs), agent, rng).RunUntil(horizon)
+	ep.returns = t.computeReturns(ep)
+	return ep
+}
+
+// computeReturns derives per-step returns R_k from the recorded steps and
+// the final simulator state.
+func (t *Trainer) computeReturns(ep *episode) []float64 {
+	n := len(ep.steps)
+	if n == 0 {
+		return nil
+	}
+	final := ep.result.JobSeconds
+	finalT := ep.steps[n-1].Time
+	if t.Cfg.Objective == ObjMakespan {
+		finalT = math.Max(ep.result.Makespan, finalT)
+	}
+	returns := make([]float64, n)
+	switch t.Cfg.Objective {
+	case ObjAvgJCT:
+		// R_k = Σ_{k'≥k} −(JS_{k'+1} − JS_{k'}) = −(JS_final − JS_k).
+		for k, s := range ep.steps {
+			returns[k] = -(final - s.JobSeconds)
+		}
+	case ObjMakespan:
+		for k, s := range ep.steps {
+			returns[k] = -(finalT - s.Time)
+		}
+	}
+	if t.Cfg.DifferentialReward {
+		// Subtract the moving-average per-step reward: R_k gains
+		// +r̂·(T−k) since each of the remaining steps is shifted.
+		for k := range returns {
+			returns[k] += t.rbar * float64(n-k)
+		}
+	}
+	return returns
+}
+
+// updateRbar folds an episode's per-step rewards into the moving average.
+func (t *Trainer) updateRbar(ep *episode) {
+	n := len(ep.steps)
+	if n == 0 {
+		return
+	}
+	total := ep.returns[0]
+	if t.Cfg.DifferentialReward {
+		total -= t.rbar * float64(n) // undo the shift to recover raw return
+	}
+	perStep := total / float64(n)
+	// Exponential moving average over ~100 episodes.
+	const alpha = 0.01
+	if t.rbarN == 0 {
+		t.rbar = perStep
+	} else {
+		t.rbar = (1-alpha)*t.rbar + alpha*perStep
+	}
+	t.rbarN++
+}
+
+// baselineAt returns episode ep's return interpolated at time tt: the
+// return of the last step at or before tt (step-function interpolation, as
+// in the input-dependent baseline implementation).
+func baselineAt(ep *episode, tt float64) float64 {
+	if len(ep.steps) == 0 {
+		return 0
+	}
+	// Binary search for the last step with Time ≤ tt.
+	i := sort.Search(len(ep.steps), func(i int) bool { return ep.steps[i].Time > tt })
+	if i == 0 {
+		return ep.returns[0]
+	}
+	return ep.returns[i-1]
+}
+
+// Iteration runs one Algorithm-1 iteration: sample horizon and sequence,
+// roll out N episodes, compute input-dependent baselines, accumulate policy
+// gradients, and step Adam.
+func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
+	t.iter++
+	horizon := t.horizon
+	if t.Cfg.NoCurriculum {
+		horizon = t.Cfg.MaxHorizon
+	}
+	tau := t.rng.ExpFloat64() * horizon
+
+	n := t.Cfg.EpisodesPerIter
+	episodes := make([]*episode, n)
+	var shared []*dag.Job
+	if !t.Cfg.UnfixedSequences {
+		shared = src(rand.New(rand.NewSource(t.rng.Int63())))
+	}
+	for i := 0; i < n; i++ {
+		jobs := shared
+		if t.Cfg.UnfixedSequences {
+			jobs = src(rand.New(rand.NewSource(t.rng.Int63())))
+		}
+		episodes[i] = t.rollout(jobs, simCfg, tau, t.rng.Int63())
+	}
+
+	// First pass: advantages against the per-time input-dependent baseline.
+	type stepAdv struct {
+		step *core.Step
+		adv  float64
+	}
+	var advs []stepAdv
+	var sumReturn, sumSteps, sumEntropy float64
+	var entropyCount int
+	for i, ep := range episodes {
+		if len(ep.steps) == 0 {
+			continue
+		}
+		sumReturn += ep.returns[0]
+		sumSteps += float64(len(ep.steps))
+		for k, s := range ep.steps {
+			var b float64
+			for j, other := range episodes {
+				if j == i {
+					continue
+				}
+				b += baselineAt(other, s.Time)
+			}
+			if n > 1 {
+				b /= float64(n - 1)
+			}
+			advs = append(advs, stepAdv{s, ep.returns[k] - b})
+			sumEntropy += s.Entropy.Value()
+			entropyCount++
+		}
+	}
+	// Normalise advantage scale: raw returns are job-seconds (hundreds to
+	// millions depending on the workload), which would otherwise swamp the
+	// gradient. The original implementation divides rewards by a fixed
+	// reward scale; normalising by the batch standard deviation adapts that
+	// scale to any workload automatically.
+	var meanA, sqA float64
+	for _, a := range advs {
+		meanA += a.adv
+	}
+	if len(advs) > 0 {
+		meanA /= float64(len(advs))
+	}
+	for _, a := range advs {
+		d := a.adv - meanA
+		sqA += d * d
+	}
+	stdA := 1.0
+	if len(advs) > 1 {
+		stdA = math.Sqrt(sqA/float64(len(advs))) + 1e-8
+	}
+
+	// Second pass: accumulate REINFORCE gradients. The loss is averaged
+	// over the batch's steps (not episodes) so the effective step size does
+	// not grow with episode length as the curriculum extends horizons.
+	params := t.Agent.Params()
+	nn.ZeroGrads(params)
+	scale := 1.0
+	if len(advs) > 0 {
+		scale = 1 / float64(len(advs))
+	}
+	for _, a := range advs {
+		adv := a.adv / stdA
+		// loss = −scale·adv·logπ − scale·β·H  →  seeds on logπ and H.
+		a.step.LogProb.Backward(-adv * scale)
+		if t.Cfg.EntropyWeight > 0 {
+			a.step.Entropy.Backward(-t.Cfg.EntropyWeight * scale)
+		}
+	}
+	grad := nn.ClipGradNorm(params, t.Cfg.GradClip)
+	t.opt.Step(params)
+	for _, ep := range episodes {
+		t.updateRbar(ep)
+	}
+
+	// Curriculum and entropy decay.
+	t.horizon = math.Min(t.horizon+t.Cfg.HorizonGrowth, t.Cfg.MaxHorizon)
+	t.Cfg.EntropyWeight *= t.Cfg.EntropyDecay
+
+	stats := IterStats{
+		Iter:       t.iter,
+		MeanReturn: sumReturn / float64(n),
+		MeanSteps:  sumSteps / float64(n),
+		Horizon:    horizon,
+		GradNorm:   grad,
+	}
+	var jctSum float64
+	var jctN int
+	for _, ep := range episodes {
+		for _, r := range ep.result.Completed {
+			jctSum += r.JCT()
+			jctN++
+		}
+	}
+	if jctN > 0 {
+		stats.MeanJCT = jctSum / float64(jctN)
+	}
+	if entropyCount > 0 {
+		stats.Entropy = sumEntropy / float64(entropyCount)
+	}
+	return stats
+}
+
+// Train runs iters iterations, invoking onIter (if non-nil) after each.
+func (t *Trainer) Train(iters int, src JobSource, simCfg sim.Config, onIter func(IterStats)) []IterStats {
+	stats := make([]IterStats, 0, iters)
+	for i := 0; i < iters; i++ {
+		st := t.Iteration(src, simCfg)
+		stats = append(stats, st)
+		if onIter != nil {
+			onIter(st)
+		}
+	}
+	return stats
+}
+
+// Evaluate runs the agent greedily over the given sequences to completion
+// and returns the mean average-JCT across sequences (and the mean
+// makespan).
+func Evaluate(agent *core.Agent, seqs [][]*dag.Job, simCfg sim.Config, seed int64) (avgJCT, makespan float64) {
+	prevGreedy, prevHook := agent.Greedy, agent.Hook
+	agent.Greedy = true
+	agent.Hook = nil
+	defer func() { agent.Greedy, agent.Hook = prevGreedy, prevHook }()
+	var jctSum, msSum float64
+	for i, jobs := range seqs {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		res := sim.New(simCfg, workload.CloneAll(jobs), agent, rng).Run()
+		jctSum += res.AvgJCT()
+		msSum += res.Makespan
+	}
+	n := float64(len(seqs))
+	return jctSum / n, msSum / n
+}
+
+// EvaluateScheduler mirrors Evaluate for arbitrary (heuristic) schedulers;
+// mk must return a fresh scheduler per run.
+func EvaluateScheduler(mk func() sim.Scheduler, seqs [][]*dag.Job, simCfg sim.Config, seed int64) (avgJCT, makespan float64) {
+	var jctSum, msSum float64
+	for i, jobs := range seqs {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		res := sim.New(simCfg, workload.CloneAll(jobs), mk(), rng).Run()
+		jctSum += res.AvgJCT()
+		msSum += res.Makespan
+	}
+	n := float64(len(seqs))
+	return jctSum / n, msSum / n
+}

@@ -1,0 +1,63 @@
+package rpcsvc
+
+import (
+	"net/rpc"
+
+	"repro/internal/sim"
+)
+
+// Client is a connection to a Decima scheduling service.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// Dial connects to a service at addr.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Schedule sends one scheduling request and returns the decision.
+func (c *Client) Schedule(req *ScheduleRequest) (*ScheduleResponse, error) {
+	var resp ScheduleResponse
+	if err := c.rpc.Call("Decima.Schedule", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// RemoteScheduler adapts the client to sim.Scheduler: a local simulation's
+// scheduling events are answered by the remote Decima service, exactly as
+// Spark's DAG schedulers consult the Decima agent in §6.1.
+type RemoteScheduler struct {
+	Client *Client
+	// OnError, when set, receives RPC failures; the scheduler then declines
+	// to schedule (returns nil), leaving executors idle rather than
+	// crashing the simulation.
+	OnError func(error)
+}
+
+// Schedule implements sim.Scheduler over the wire.
+func (r *RemoteScheduler) Schedule(s *sim.State) *sim.Action {
+	resp, err := r.Client.Schedule(RequestFromState(s))
+	if err != nil {
+		if r.OnError != nil {
+			r.OnError(err)
+		}
+		return nil
+	}
+	act, err := ActionFromResponse(resp, s)
+	if err != nil {
+		if r.OnError != nil {
+			r.OnError(err)
+		}
+		return nil
+	}
+	return act
+}

@@ -1,0 +1,197 @@
+// Package rpcsvc exposes Decima as a pluggable scheduling service over TCP,
+// mirroring the paper's Spark integration (§6.1): the cluster (here, a
+// simulator or any driver playing the Spark master's role) contacts the
+// service on every scheduling event — stage completions, executor
+// exhaustion, job arrivals — and receives the next stage to work on, the
+// job's parallelism limit, and (in the multi-resource setting) the executor
+// class to use.
+//
+// The wire protocol is plain-data structs over stdlib net/rpc with gob
+// encoding. A RemoteScheduler client implements sim.Scheduler, so an entire
+// simulation can be driven by a Decima agent living in another process.
+package rpcsvc
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/sim"
+)
+
+// StageInfo is the wire form of one stage's static description and runtime
+// counters.
+type StageInfo struct {
+	ID            int
+	NumTasks      int
+	TaskDuration  float64
+	MemReq        float64
+	CPUReq        float64
+	Parents       []int
+	Children      []int
+	TasksLaunched int
+	TasksDone     int
+	ParentsDone   int
+	Running       int
+}
+
+// JobInfo is the wire form of one job in the system.
+type JobInfo struct {
+	ID        int
+	Arrival   float64
+	Executors int
+	Limit     int
+	Stages    []StageInfo
+}
+
+// ExecutorInfo is the wire form of one free executor.
+type ExecutorInfo struct {
+	ID    int
+	Class int
+	Mem   float64
+	// LocalJob is the job the executor is bound to, or -1.
+	LocalJob int
+}
+
+// ScheduleRequest is the cluster snapshot sent per scheduling event.
+type ScheduleRequest struct {
+	Time           float64
+	JobSeconds     float64
+	TotalExecutors int
+	MoveDelay      float64
+	Jobs           []JobInfo
+	FreeExecutors  []ExecutorInfo
+}
+
+// ScheduleResponse carries the scheduling decision; HasAction false means
+// "leave remaining executors idle".
+type ScheduleResponse struct {
+	HasAction bool
+	JobID     int
+	StageID   int
+	Limit     int
+	Class     int
+}
+
+// RequestFromState converts a simulator state into its wire form.
+func RequestFromState(s *sim.State) *ScheduleRequest {
+	req := &ScheduleRequest{
+		Time:           s.Time,
+		JobSeconds:     s.JobSeconds,
+		TotalExecutors: s.TotalExecutors,
+		MoveDelay:      s.MoveDelay,
+	}
+	jobIdx := make(map[*sim.JobState]int, len(s.Jobs))
+	for i, j := range s.Jobs {
+		jobIdx[j] = i
+		ji := JobInfo{ID: j.Job.ID, Arrival: j.Job.Arrival, Executors: j.Executors, Limit: j.Limit}
+		for _, st := range j.Stages {
+			ji.Stages = append(ji.Stages, StageInfo{
+				ID:            st.Stage.ID,
+				NumTasks:      st.Stage.NumTasks,
+				TaskDuration:  st.Stage.TaskDuration,
+				MemReq:        st.Stage.MemReq,
+				CPUReq:        st.Stage.CPUReq,
+				Parents:       st.Stage.Parents,
+				Children:      st.Stage.Children,
+				TasksLaunched: st.TasksLaunched,
+				TasksDone:     st.TasksDone,
+				ParentsDone:   st.ParentsDone,
+				Running:       st.Running,
+			})
+		}
+		req.Jobs = append(req.Jobs, ji)
+	}
+	for _, e := range s.FreeExecutors {
+		local := -1
+		if e.BoundTo != nil {
+			if i, ok := jobIdx[e.BoundTo]; ok {
+				local = req.Jobs[i].ID
+			}
+		}
+		req.FreeExecutors = append(req.FreeExecutors, ExecutorInfo{ID: e.ID, Class: e.Class, Mem: e.Mem, LocalJob: local})
+	}
+	return req
+}
+
+// StateFromRequest reconstructs a sim.State from the wire form so any
+// sim.Scheduler (including the Decima agent) can run server-side.
+func StateFromRequest(req *ScheduleRequest) *sim.State {
+	s := &sim.State{
+		Time:           req.Time,
+		JobSeconds:     req.JobSeconds,
+		TotalExecutors: req.TotalExecutors,
+		MoveDelay:      req.MoveDelay,
+	}
+	byID := make(map[int]*sim.JobState, len(req.Jobs))
+	for _, ji := range req.Jobs {
+		job := &dag.Job{ID: ji.ID, Arrival: ji.Arrival}
+		js := &sim.JobState{Job: job, Executors: ji.Executors, Limit: ji.Limit, ExecutorSeconds: map[int]float64{}}
+		for _, si := range ji.Stages {
+			st := &dag.Stage{
+				ID:           si.ID,
+				NumTasks:     si.NumTasks,
+				TaskDuration: si.TaskDuration,
+				MemReq:       si.MemReq,
+				CPUReq:       si.CPUReq,
+				Parents:      si.Parents,
+				Children:     si.Children,
+			}
+			job.Stages = append(job.Stages, st)
+			ss := &sim.StageState{
+				Stage:         st,
+				Job:           js,
+				TasksLaunched: si.TasksLaunched,
+				TasksDone:     si.TasksDone,
+				ParentsDone:   si.ParentsDone,
+				Running:       si.Running,
+				Completed:     si.TasksDone == si.NumTasks,
+			}
+			js.Stages = append(js.Stages, ss)
+			if ss.Completed {
+				js.StagesDone++
+			}
+		}
+		s.Jobs = append(s.Jobs, js)
+		byID[ji.ID] = js
+	}
+	for _, ei := range req.FreeExecutors {
+		e := &sim.Executor{ID: ei.ID, Class: ei.Class, Mem: ei.Mem}
+		if js, ok := byID[ei.LocalJob]; ok {
+			e.BoundTo = js
+		}
+		s.FreeExecutors = append(s.FreeExecutors, e)
+	}
+	return s
+}
+
+// ResponseFromAction converts a scheduler's action on state into its wire
+// form.
+func ResponseFromAction(act *sim.Action) *ScheduleResponse {
+	if act == nil || act.Stage == nil {
+		return &ScheduleResponse{HasAction: false}
+	}
+	return &ScheduleResponse{
+		HasAction: true,
+		JobID:     act.Stage.Job.Job.ID,
+		StageID:   act.Stage.Stage.ID,
+		Limit:     act.Limit,
+		Class:     act.Class,
+	}
+}
+
+// ActionFromResponse resolves a wire response against the local state.
+func ActionFromResponse(resp *ScheduleResponse, s *sim.State) (*sim.Action, error) {
+	if !resp.HasAction {
+		return nil, nil
+	}
+	for _, j := range s.Jobs {
+		if j.Job.ID != resp.JobID {
+			continue
+		}
+		if resp.StageID < 0 || resp.StageID >= len(j.Stages) {
+			return nil, fmt.Errorf("rpcsvc: stage %d out of range for job %d", resp.StageID, resp.JobID)
+		}
+		return &sim.Action{Stage: j.Stages[resp.StageID], Limit: resp.Limit, Class: resp.Class}, nil
+	}
+	return nil, fmt.Errorf("rpcsvc: job %d not in state", resp.JobID)
+}

@@ -1,0 +1,229 @@
+package rpcsvc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// startServer launches a service over the given scheduler on a random port.
+func startServer(t *testing.T, s sim.Scheduler) (*Server, *Client) {
+	t.Helper()
+	srv, err := ListenAndServe("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestRemoteFIFOMatchesLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	jobs := workload.Batch(rng, 6)
+	cfg := sim.SparkDefaults(8)
+
+	local := sim.New(cfg, workload.CloneAll(jobs), sched.NewFIFO(), rand.New(rand.NewSource(2))).Run()
+
+	_, cli := startServer(t, sched.NewFIFO())
+	remote := sim.New(cfg, workload.CloneAll(jobs), &RemoteScheduler{Client: cli}, rand.New(rand.NewSource(2))).Run()
+
+	if local.AvgJCT() != remote.AvgJCT() || local.Makespan != remote.Makespan {
+		t.Fatalf("remote FIFO diverges: %v/%v vs %v/%v",
+			local.AvgJCT(), local.Makespan, remote.AvgJCT(), remote.Makespan)
+	}
+}
+
+func TestRemoteDecimaAgentCompletes(t *testing.T) {
+	agent := core.New(core.DefaultConfig(6), rand.New(rand.NewSource(3)))
+	agent.Greedy = true
+	_, cli := startServer(t, agent)
+
+	rng := rand.New(rand.NewSource(4))
+	jobs := workload.Batch(rng, 4)
+	res := sim.New(sim.SparkDefaults(6), jobs, &RemoteScheduler{Client: cli}, rng).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("remote agent failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	// Conversion through the wire form must preserve everything schedulers
+	// look at.
+	rng := rand.New(rand.NewSource(5))
+	jobs := workload.Batch(rng, 3)
+	var captured *sim.State
+	probe := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
+		if captured == nil && len(s.Jobs) == 3 {
+			captured = s
+		}
+		for _, j := range s.Jobs {
+			for _, st := range j.Stages {
+				if st.Runnable() && s.FreeCount(st) > 0 {
+					return &sim.Action{Stage: st, Limit: s.TotalExecutors, Class: -1}
+				}
+			}
+		}
+		return nil
+	})
+	sim.New(sim.SparkDefaults(5), jobs, probe, rng).Run()
+	if captured == nil {
+		t.Fatal("no state captured")
+	}
+	back := StateFromRequest(RequestFromState(captured))
+	if back.Time != captured.Time || back.JobSeconds != captured.JobSeconds ||
+		back.TotalExecutors != captured.TotalExecutors || back.MoveDelay != captured.MoveDelay {
+		t.Fatal("scalar state fields lost")
+	}
+	if len(back.Jobs) != len(captured.Jobs) {
+		t.Fatal("jobs lost")
+	}
+	for i, j := range captured.Jobs {
+		bj := back.Jobs[i]
+		if bj.Job.ID != j.Job.ID || bj.Executors != j.Executors || bj.Limit != j.Limit {
+			t.Fatal("job fields lost")
+		}
+		if len(bj.RunnableStages()) != len(j.RunnableStages()) {
+			t.Fatal("runnable set changed")
+		}
+		for si, st := range j.Stages {
+			bs := bj.Stages[si]
+			if bs.TasksDone != st.TasksDone || bs.TasksLaunched != st.TasksLaunched ||
+				bs.ParentsDone != st.ParentsDone || bs.Completed != st.Completed {
+				t.Fatal("stage counters lost")
+			}
+			if len(bs.Stage.Parents) != len(st.Stage.Parents) {
+				t.Fatal("adjacency lost")
+			}
+		}
+	}
+	if len(back.FreeExecutors) != len(captured.FreeExecutors) {
+		t.Fatal("executors lost")
+	}
+	// Locality must survive: same set of (exec, local-job) pairs.
+	for i, e := range captured.FreeExecutors {
+		be := back.FreeExecutors[i]
+		if be.ID != e.ID || be.Class != e.Class || be.Mem != e.Mem {
+			t.Fatal("executor fields lost")
+		}
+		wantLocal := e.BoundTo != nil && jobInState(captured, e.BoundTo)
+		gotLocal := be.BoundTo != nil
+		if wantLocal != gotLocal {
+			t.Fatal("locality lost")
+		}
+	}
+}
+
+func jobInState(s *sim.State, j *sim.JobState) bool {
+	for _, x := range s.Jobs {
+		if x == j {
+			return true
+		}
+	}
+	return false
+}
+
+func TestActionFromResponseErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	jobs := workload.Batch(rng, 1)
+	st := StateFromRequest(&ScheduleRequest{
+		TotalExecutors: 2,
+		Jobs: []JobInfo{{
+			ID: jobs[0].ID,
+			Stages: []StageInfo{{
+				ID: 0, NumTasks: 1, TaskDuration: 1, CPUReq: 1,
+			}},
+		}},
+	})
+	if _, err := ActionFromResponse(&ScheduleResponse{HasAction: true, JobID: 999, StageID: 0}, st); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	if _, err := ActionFromResponse(&ScheduleResponse{HasAction: true, JobID: st.Jobs[0].Job.ID, StageID: 5}, st); err == nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+	act, err := ActionFromResponse(&ScheduleResponse{HasAction: false}, st)
+	if err != nil || act != nil {
+		t.Fatal("no-action response mishandled")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			rng := rand.New(rand.NewSource(seed))
+			jobs := workload.Batch(rng, 3)
+			res := sim.New(sim.SparkDefaults(4), jobs, &RemoteScheduler{Client: cli}, rng).Run()
+			if res.Unfinished != 0 {
+				errs <- err
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRemoteSchedulerErrorHandling(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	cli.Close()
+	var got error
+	rs := &RemoteScheduler{Client: cli, OnError: func(e error) { got = e }}
+	rng := rand.New(rand.NewSource(7))
+	jobs := workload.Batch(rng, 1)
+	res := sim.New(sim.SparkDefaults(2), jobs, rs, rng).Run()
+	if got == nil {
+		t.Fatal("error callback never fired")
+	}
+	if !res.Deadlock {
+		t.Fatal("simulation should deadlock when the service is gone")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", sched.NewFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package rpcsvc
+
+import (
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Decima is the RPC service object. Method signatures follow net/rpc
+// conventions; clients call "Decima.Schedule".
+type Decima struct {
+	mu    sync.Mutex
+	sched sim.Scheduler
+}
+
+// NewDecima wraps any sim.Scheduler (typically the core agent) as the RPC
+// service object.
+func NewDecima(sched sim.Scheduler) *Decima { return &Decima{sched: sched} }
+
+// Schedule is the RPC entry point: it reconstructs the cluster state from
+// the wire form, delegates to the wrapped scheduler, and encodes the
+// decision. The mutex serialises decisions because the underlying agent is
+// stateful (sampling RNG) and not concurrency-safe.
+func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := StateFromRequest(req)
+	*resp = *ResponseFromAction(d.sched.Schedule(st))
+	return nil
+}
+
+// Server is a listening Decima scheduling service.
+type Server struct {
+	lis  net.Listener
+	rpcS *rpc.Server
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// ListenAndServe starts serving the given scheduler on addr (e.g.
+// "127.0.0.1:0") and returns immediately; connections are handled on
+// background goroutines until Close.
+func ListenAndServe(addr string, sched sim.Scheduler) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rpcS := rpc.NewServer()
+	if err := rpcS.RegisterName("Decima", NewDecima(sched)); err != nil {
+		lis.Close()
+		return nil, err
+	}
+	s := &Server{lis: lis, rpcS: rpcS, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// acceptLoop serves connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.rpcS.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener, severs open connections, and waits for the
+// serving goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}

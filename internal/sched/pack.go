@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// bestFitClass returns the class of the smallest-memory free executor that
+// fits the stage, or -1 if none fits.
+func bestFitClass(s *sim.State, st *sim.StageState) int {
+	best := -1
+	bestMem := math.Inf(1)
+	for _, e := range s.FreeExecutors {
+		if e.Mem >= st.Stage.MemReq && e.Mem < bestMem {
+			bestMem = e.Mem
+			best = e.Class
+		}
+	}
+	return best
+}
+
+// Tetris adapts the multi-resource packing algorithm of Grandl et al.
+// (SIGCOMM 2014) to discrete executor classes (§7.1 baseline 6, Appendix F):
+// it greedily selects the (stage, executor class) pair maximising the dot
+// product of the stage's requested resource vector ⟨CPU, memory⟩ with the
+// class's available resource vector, then grants as much parallelism as the
+// stage's tasks need.
+type Tetris struct{}
+
+// NewTetris returns a Tetris packer.
+func NewTetris() *Tetris { return &Tetris{} }
+
+// Schedule implements sim.Scheduler.
+func (t *Tetris) Schedule(s *sim.State) *sim.Action {
+	// Available resources per class.
+	freeCount := map[int]int{}
+	classMem := map[int]float64{}
+	for _, e := range s.FreeExecutors {
+		freeCount[e.Class]++
+		classMem[e.Class] = e.Mem
+	}
+	var bestStage *sim.StageState
+	bestClass := -1
+	bestScore := math.Inf(-1)
+	for _, j := range s.Jobs {
+		for _, st := range j.Stages {
+			if !st.Runnable() {
+				continue
+			}
+			for c, n := range freeCount {
+				if n == 0 || classMem[c] < st.Stage.MemReq {
+					continue
+				}
+				avail := float64(n)
+				// dot(⟨cpu, mem⟩_req , ⟨cpu, mem⟩_avail)
+				score := st.Stage.CPUReq*avail + st.Stage.MemReq*avail*classMem[c]
+				if score > bestScore {
+					bestScore, bestStage, bestClass = score, st, c
+				}
+			}
+		}
+	}
+	if bestStage == nil {
+		return nil
+	}
+	limit := bestStage.Job.Executors + bestStage.RemainingTasks()
+	return &sim.Action{Stage: bestStage, Limit: limit, Class: bestClass}
+}
+
+// GrapheneConfig holds Graphene*'s tuned hyperparameters (Appendix F runs a
+// grid search over these).
+type GrapheneConfig struct {
+	// Alpha is the weighted-fair exponent for parallelism control.
+	Alpha float64
+	// WorkFrac marks a stage troublesome when it holds at least this
+	// fraction of its job's total work.
+	WorkFrac float64
+	// MemThreshold marks a stage troublesome when its memory request is at
+	// least this large.
+	MemThreshold float64
+}
+
+// DefaultGrapheneConfig returns the configuration the grid search typically
+// selects.
+func DefaultGrapheneConfig() GrapheneConfig {
+	return GrapheneConfig{Alpha: -1, WorkFrac: 0.3, MemThreshold: 0.75}
+}
+
+// Graphene is Graphene*, the adaptation of Graphene (OSDI 2016) to discrete
+// executor classes (§7.1 baseline 7, Appendix F). It detects "troublesome"
+// stages (large work share or high memory demand), suppresses their
+// priority until all of a DAG's troublesome stages are simultaneously in
+// the frontier so they schedule together, shares executors by a tuned
+// weighted-fair partition, and packs by best-fitting executor class.
+type Graphene struct {
+	Cfg   GrapheneConfig
+	fair  *WeightedFair
+	cache *cpCache
+
+	trouble map[*sim.JobState]map[int]bool
+}
+
+// NewGraphene returns a Graphene* scheduler.
+func NewGraphene(cfg GrapheneConfig) *Graphene {
+	return &Graphene{
+		Cfg:     cfg,
+		fair:    NewWeightedFair(cfg.Alpha),
+		cache:   newCPCache(),
+		trouble: make(map[*sim.JobState]map[int]bool),
+	}
+}
+
+// troublesome returns (and caches) the job's troublesome stage set.
+func (g *Graphene) troublesome(j *sim.JobState) map[int]bool {
+	if t, ok := g.trouble[j]; ok {
+		return t
+	}
+	t := map[int]bool{}
+	total := j.Job.TotalWork()
+	for _, st := range j.Job.Stages {
+		if total > 0 && st.Work()/total >= g.Cfg.WorkFrac {
+			t[st.ID] = true
+		}
+		if st.MemReq >= g.Cfg.MemThreshold {
+			t[st.ID] = true
+		}
+	}
+	g.trouble[j] = t
+	return t
+}
+
+// suppressed reports whether stage st must wait: it is troublesome and some
+// other troublesome stage of the job is neither runnable nor completed yet.
+func (g *Graphene) suppressed(j *sim.JobState, st *sim.StageState) bool {
+	t := g.troublesome(j)
+	if !t[st.Stage.ID] {
+		return false
+	}
+	for id := range t {
+		other := j.Stages[id]
+		if other.Completed || other.Runnable() {
+			continue
+		}
+		// A troublesome sibling is still blocked upstream: wait for it so
+		// the group schedules together — unless it can never become
+		// runnable again (all tasks launched), in which case don't wait.
+		if other.RemainingTasks() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// candidate returns j's best schedulable stage under Graphene*'s priority
+// rules, or nil.
+func (g *Graphene) candidate(s *sim.State, j *sim.JobState) *sim.StageState {
+	cp := g.cache.get(j)
+	var best *sim.StageState
+	bestKey := math.Inf(-1)
+	for _, st := range j.Stages {
+		if !st.Runnable() || s.FreeCount(st) == 0 || g.suppressed(j, st) {
+			continue
+		}
+		key := cp[st.Stage.ID]
+		if g.troublesome(j)[st.Stage.ID] {
+			key += 1e12 // unsuppressed troublesome group runs first
+		}
+		if key > bestKey {
+			bestKey, best = key, st
+		}
+	}
+	if best == nil {
+		// Fall back to any runnable stage so the job cannot self-block.
+		return criticalRunnable(s, j, g.cache)
+	}
+	return best
+}
+
+// Schedule implements sim.Scheduler.
+func (g *Graphene) Schedule(s *sim.State) *sim.Action {
+	shares := g.fair.shares(s)
+	// Jobs under their tuned fair share first.
+	for _, j := range s.Jobs {
+		if j.Executors >= shares[j] {
+			continue
+		}
+		if st := g.candidate(s, j); st != nil {
+			return &sim.Action{Stage: st, Limit: shares[j], Class: bestFitClass(s, st)}
+		}
+	}
+	// Work conservation.
+	var spill *sim.JobState
+	var spillStage *sim.StageState
+	for _, j := range s.Jobs {
+		st := g.candidate(s, j)
+		if st == nil {
+			continue
+		}
+		if spill == nil || j.Executors < spill.Executors {
+			spill, spillStage = j, st
+		}
+	}
+	if spill == nil {
+		return nil
+	}
+	return &sim.Action{Stage: spillStage, Limit: spill.Executors + 1, Class: bestFitClass(s, spillStage)}
+}

@@ -1,0 +1,271 @@
+// Package sched implements the seven baseline scheduling algorithms the
+// paper evaluates Decima against (§7.1): FIFO, shortest-job-first
+// critical-path (SJF-CP), fair, naive weighted fair, tuned weighted fair,
+// Tetris-style multi-resource packing, and Graphene*. It also provides a
+// fixed-job-order scheduler used by the exhaustive-search optimality study
+// (Appendix H) and a random scheduler for tests.
+//
+// All schedulers implement sim.Scheduler and are stateless across runs
+// except for cached per-job critical paths; create a fresh instance per
+// simulation.
+package sched
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// cpCache memoizes per-job critical-path vectors keyed by job state.
+type cpCache struct {
+	m map[*sim.JobState][]float64
+}
+
+func newCPCache() *cpCache { return &cpCache{m: make(map[*sim.JobState][]float64)} }
+
+// get returns the downstream-critical-path value per stage of j's job.
+func (c *cpCache) get(j *sim.JobState) []float64 {
+	if cp, ok := c.m[j]; ok {
+		return cp
+	}
+	cp := j.Job.CriticalPath()
+	c.m[j] = cp
+	return cp
+}
+
+// criticalRunnable returns j's runnable stage with the largest downstream
+// critical path that has at least one eligible free executor, or nil.
+func criticalRunnable(s *sim.State, j *sim.JobState, cache *cpCache) *sim.StageState {
+	cp := cache.get(j)
+	var best *sim.StageState
+	bestCP := math.Inf(-1)
+	for _, st := range j.Stages {
+		if !st.Runnable() || s.FreeCount(st) == 0 {
+			continue
+		}
+		if cp[st.Stage.ID] > bestCP {
+			bestCP = cp[st.Stage.ID]
+			best = st
+		}
+	}
+	return best
+}
+
+// FIFO replicates Spark's default: jobs run in arrival order and each job
+// gets as many executors as available (§7.1 baseline 1).
+type FIFO struct{ cache *cpCache }
+
+// NewFIFO returns a FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{cache: newCPCache()} }
+
+// Schedule implements sim.Scheduler.
+func (f *FIFO) Schedule(s *sim.State) *sim.Action {
+	for _, j := range s.Jobs { // arrival order
+		if st := criticalRunnable(s, j, f.cache); st != nil {
+			return &sim.Action{Stage: st, Limit: s.TotalExecutors, Class: -1}
+		}
+	}
+	return nil
+}
+
+// SJFCP is the shortest-job-first critical-path heuristic: it prioritizes
+// the job with the least total work and runs the next stage on its critical
+// path (§7.1 baseline 2).
+type SJFCP struct{ cache *cpCache }
+
+// NewSJFCP returns an SJF-CP scheduler.
+func NewSJFCP() *SJFCP { return &SJFCP{cache: newCPCache()} }
+
+// Schedule implements sim.Scheduler.
+func (f *SJFCP) Schedule(s *sim.State) *sim.Action {
+	var bestJob *sim.JobState
+	var bestStage *sim.StageState
+	bestWork := math.Inf(1)
+	for _, j := range s.Jobs {
+		st := criticalRunnable(s, j, f.cache)
+		if st == nil {
+			continue
+		}
+		if w := j.Job.TotalWork(); w < bestWork {
+			bestWork, bestJob, bestStage = w, j, st
+		}
+	}
+	if bestJob == nil {
+		return nil
+	}
+	return &sim.Action{Stage: bestStage, Limit: s.TotalExecutors, Class: -1}
+}
+
+// WeightedFair divides executors between jobs in proportion to
+// TotalWork^Alpha and round-robins across each job's runnable branches:
+//
+//   - Alpha = 0 is the simple fair scheduler (§7.1 baseline 3);
+//   - Alpha = 1 is the naive weighted fair scheduler (baseline 4);
+//   - a swept Alpha gives the carefully-tuned weighted fair scheduler
+//     (baseline 5; the paper finds the optimum near −1).
+//
+// The scheduler is work-conserving: once every job reached its share,
+// leftover executors spill to the job with the fewest executors.
+type WeightedFair struct {
+	Alpha float64
+	cache *cpCache
+}
+
+// NewFair returns the simple fair scheduler (α = 0).
+func NewFair() *WeightedFair { return &WeightedFair{Alpha: 0, cache: newCPCache()} }
+
+// NewNaiveWeightedFair returns the job-size-weighted fair scheduler (α = 1).
+func NewNaiveWeightedFair() *WeightedFair { return &WeightedFair{Alpha: 1, cache: newCPCache()} }
+
+// NewWeightedFair returns a weighted fair scheduler with the given α.
+func NewWeightedFair(alpha float64) *WeightedFair {
+	return &WeightedFair{Alpha: alpha, cache: newCPCache()}
+}
+
+// shares computes each job's executor entitlement, rounding so the shares
+// sum to the cluster size.
+func (f *WeightedFair) shares(s *sim.State) map[*sim.JobState]int {
+	weights := make([]float64, len(s.Jobs))
+	var sum float64
+	for i, j := range s.Jobs {
+		w := math.Pow(math.Max(j.Job.TotalWork(), 1e-9), f.Alpha)
+		weights[i] = w
+		sum += w
+	}
+	shares := make(map[*sim.JobState]int, len(s.Jobs))
+	if sum == 0 {
+		return shares
+	}
+	remaining := s.TotalExecutors
+	for i, j := range s.Jobs {
+		sh := int(math.Floor(weights[i] / sum * float64(s.TotalExecutors)))
+		if sh > remaining {
+			sh = remaining
+		}
+		shares[j] = sh
+		remaining -= sh
+	}
+	// Distribute the rounding remainder one executor at a time.
+	for i := 0; remaining > 0 && len(s.Jobs) > 0; i = (i + 1) % len(s.Jobs) {
+		shares[s.Jobs[i]]++
+		remaining--
+	}
+	return shares
+}
+
+// roundRobinStage picks j's runnable stage with the fewest running tasks so
+// executors spread across branches ("drain all branches concurrently").
+func roundRobinStage(s *sim.State, j *sim.JobState) *sim.StageState {
+	var best *sim.StageState
+	for _, st := range j.Stages {
+		if !st.Runnable() || s.FreeCount(st) == 0 {
+			continue
+		}
+		if best == nil || st.Running < best.Running {
+			best = st
+		}
+	}
+	return best
+}
+
+// Schedule implements sim.Scheduler.
+func (f *WeightedFair) Schedule(s *sim.State) *sim.Action {
+	shares := f.shares(s)
+	// First pass: jobs under their share.
+	var under *sim.JobState
+	var underStage *sim.StageState
+	for _, j := range s.Jobs {
+		if j.Executors >= shares[j] {
+			continue
+		}
+		if st := roundRobinStage(s, j); st != nil {
+			under, underStage = j, st
+			break
+		}
+	}
+	if under != nil {
+		return &sim.Action{Stage: underStage, Limit: shares[under], Class: -1}
+	}
+	// Work conservation: spill leftover executors to the least-loaded job.
+	var spill *sim.JobState
+	var spillStage *sim.StageState
+	for _, j := range s.Jobs {
+		st := roundRobinStage(s, j)
+		if st == nil {
+			continue
+		}
+		if spill == nil || j.Executors < spill.Executors {
+			spill, spillStage = j, st
+		}
+	}
+	if spill == nil {
+		return nil
+	}
+	return &sim.Action{Stage: spillStage, Limit: spill.Executors + 1, Class: -1}
+}
+
+// FixedOrder schedules jobs strictly in the given order of job IDs,
+// dedicating all executors to the earliest unfinished job and choosing
+// stages by critical path. It is the building block of the exhaustive
+// job-ordering search of Appendix H.
+type FixedOrder struct {
+	Order []int
+	cache *cpCache
+}
+
+// NewFixedOrder returns a scheduler following the given job-ID order.
+func NewFixedOrder(order []int) *FixedOrder {
+	return &FixedOrder{Order: order, cache: newCPCache()}
+}
+
+// Schedule implements sim.Scheduler.
+func (f *FixedOrder) Schedule(s *sim.State) *sim.Action {
+	pos := make(map[int]int, len(f.Order))
+	for i, id := range f.Order {
+		pos[id] = i
+	}
+	var bestJob *sim.JobState
+	bestPos := math.MaxInt
+	for _, j := range s.Jobs {
+		p, ok := pos[j.Job.ID]
+		if !ok {
+			p = math.MaxInt - 1
+		}
+		if p < bestPos {
+			if st := criticalRunnable(s, j, f.cache); st != nil {
+				bestPos, bestJob = p, j
+			}
+		}
+	}
+	if bestJob == nil {
+		return nil
+	}
+	return &sim.Action{Stage: criticalRunnable(s, bestJob, f.cache), Limit: s.TotalExecutors, Class: -1}
+}
+
+// Random picks a uniformly random runnable stage and a random feasible
+// parallelism limit. It exists to exercise the simulator in tests and as a
+// worst-case reference.
+type Random struct{ Rng *rand.Rand }
+
+// NewRandom returns a random scheduler.
+func NewRandom(rng *rand.Rand) *Random { return &Random{Rng: rng} }
+
+// Schedule implements sim.Scheduler.
+func (r *Random) Schedule(s *sim.State) *sim.Action {
+	var stages []*sim.StageState
+	for _, j := range s.Jobs {
+		for _, st := range j.Stages {
+			if st.Runnable() && s.FreeCount(st) > 0 {
+				stages = append(stages, st)
+			}
+		}
+	}
+	if len(stages) == 0 {
+		return nil
+	}
+	st := stages[r.Rng.Intn(len(stages))]
+	limit := st.Job.Executors + 1 + r.Rng.Intn(s.TotalExecutors)
+	return &sim.Action{Stage: st, Limit: limit, Class: -1}
+}

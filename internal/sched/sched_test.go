@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func job(id, tasks int, dur float64) *dag.Job {
+	return &dag.Job{ID: id, Stages: []*dag.Stage{{ID: 0, NumTasks: tasks, TaskDuration: dur, CPUReq: 1}}}
+}
+
+// run executes jobs under s in the idealized single-resource simulator.
+func run(t *testing.T, jobs []*dag.Job, s sim.Scheduler, execs int) *sim.Result {
+	t.Helper()
+	res := sim.New(sim.Idealized(execs), workload.CloneAll(jobs), s, rand.New(rand.NewSource(1))).Run()
+	if res.Deadlock {
+		t.Fatal("scheduler deadlocked")
+	}
+	if res.Unfinished != 0 {
+		t.Fatalf("%d jobs unfinished", res.Unfinished)
+	}
+	return res
+}
+
+func TestFIFOOrder(t *testing.T) {
+	// A huge early job blocks a tiny later one under FIFO.
+	jobs := []*dag.Job{job(0, 40, 1), job(1, 2, 1)}
+	res := run(t, jobs, NewFIFO(), 2)
+	byID := map[int]sim.JobRecord{}
+	for _, r := range res.Completed {
+		byID[r.ID] = r
+	}
+	if byID[1].Completion < byID[0].Completion {
+		t.Fatal("FIFO let the later job finish first with a saturated cluster")
+	}
+}
+
+func TestSJFCPRunsShortJobFirst(t *testing.T) {
+	jobs := []*dag.Job{job(0, 40, 1), job(1, 2, 1)}
+	res := run(t, jobs, NewSJFCP(), 2)
+	byID := map[int]sim.JobRecord{}
+	for _, r := range res.Completed {
+		byID[r.ID] = r
+	}
+	if byID[1].Completion > byID[0].Completion {
+		t.Fatal("SJF did not prioritise the short job")
+	}
+	// The short job should finish almost immediately: 2 tasks on 2 executors.
+	if byID[1].JCT() > 1.5 {
+		t.Fatalf("short job JCT = %v under SJF", byID[1].JCT())
+	}
+}
+
+func TestSJFBeatsFIFOOnSkewedBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	jobs := workload.Batch(rng, 10)
+	fifo := run(t, jobs, NewFIFO(), 10)
+	sjf := run(t, jobs, NewSJFCP(), 10)
+	if sjf.AvgJCT() >= fifo.AvgJCT() {
+		t.Fatalf("SJF (%.1f) not better than FIFO (%.1f) on a heavy-tailed batch", sjf.AvgJCT(), fifo.AvgJCT())
+	}
+}
+
+func TestFairSharesExecutors(t *testing.T) {
+	// Two identical jobs, 4 executors: fair gives each 2, so both finish
+	// together and the makespan equals twice a dedicated run's length.
+	jobs := []*dag.Job{job(0, 8, 1), job(1, 8, 1)}
+	res := run(t, jobs, NewFair(), 4)
+	a, b := res.Completed[0], res.Completed[1]
+	if math.Abs(a.JCT()-b.JCT()) > 1e-9 {
+		t.Fatalf("fair JCTs differ: %v vs %v", a.JCT(), b.JCT())
+	}
+	if math.Abs(a.JCT()-4) > 1e-9 { // 8 tasks on 2 executors
+		t.Fatalf("fair JCT = %v, want 4", a.JCT())
+	}
+}
+
+func TestFairIsWorkConserving(t *testing.T) {
+	// One job, 4 executors: the spill path must hand all executors to it.
+	res := run(t, []*dag.Job{job(0, 8, 1)}, NewFair(), 4)
+	if got := res.Completed[0].JCT(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("JCT = %v, want 2 (all executors used)", got)
+	}
+}
+
+func TestWeightedFairAlphaDirection(t *testing.T) {
+	// α = −1 favours small jobs; α = +1 favours large ones. The small job's
+	// JCT must be lower under α = −1.
+	mk := func() []*dag.Job { return []*dag.Job{job(0, 30, 1), job(1, 6, 1)} }
+	neg := run(t, mk(), NewWeightedFair(-1), 6)
+	pos := run(t, mk(), NewWeightedFair(1), 6)
+	jct := func(r *sim.Result, id int) float64 {
+		for _, rec := range r.Completed {
+			if rec.ID == id {
+				return rec.JCT()
+			}
+		}
+		t.Fatalf("job %d missing", id)
+		return 0
+	}
+	if jct(neg, 1) >= jct(pos, 1) {
+		t.Fatalf("α=-1 small-job JCT %v not below α=+1's %v", jct(neg, 1), jct(pos, 1))
+	}
+}
+
+func TestFixedOrderFollowsOrder(t *testing.T) {
+	jobs := []*dag.Job{job(0, 10, 1), job(1, 10, 1), job(2, 10, 1)}
+	res := run(t, jobs, NewFixedOrder([]int{2, 0, 1}), 2)
+	comp := map[int]float64{}
+	for _, r := range res.Completed {
+		comp[r.ID] = r.Completion
+	}
+	if !(comp[2] < comp[0] && comp[0] < comp[1]) {
+		t.Fatalf("completions %v do not follow order 2,0,1", comp)
+	}
+}
+
+func TestRandomSchedulerCompletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	jobs := workload.Batch(rng, 5)
+	res := run(t, jobs, NewRandom(rand.New(rand.NewSource(4))), 8)
+	if len(res.Completed) != 5 {
+		t.Fatal("random scheduler lost jobs")
+	}
+}
+
+func multiResJobs() []*dag.Job {
+	small := job(0, 6, 1)
+	small.Stages[0].MemReq = 0.2
+	big := job(1, 6, 1)
+	big.Stages[0].MemReq = 0.9
+	return []*dag.Job{small, big}
+}
+
+func multiCfg() sim.Config {
+	return sim.Config{
+		Classes: []sim.ExecutorClass{
+			{Mem: 0.25, Count: 2}, {Mem: 0.5, Count: 2}, {Mem: 0.75, Count: 2}, {Mem: 1.0, Count: 2},
+		},
+		FirstWaveFactor: 1,
+	}
+}
+
+func TestTetrisPacksEligibleClasses(t *testing.T) {
+	res := sim.New(multiCfg(), multiResJobs(), NewTetris(), rand.New(rand.NewSource(1))).Run()
+	if res.Unfinished != 0 || res.Deadlock {
+		t.Fatalf("tetris failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+	for _, r := range res.Completed {
+		if r.ID == 1 {
+			// The 0.9-mem job may only use the 1.0 class.
+			for c, secs := range r.ExecutorSeconds {
+				if c != 3 && secs > 0 {
+					t.Fatalf("big-mem job used class %d", c)
+				}
+			}
+		}
+	}
+}
+
+func TestGrapheneCompletesMultiResource(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	jobs := workload.Batch(rng, 8)
+	g := NewGraphene(DefaultGrapheneConfig())
+	cfg := multiCfg()
+	cfg.Classes = []sim.ExecutorClass{
+		{Mem: 0.25, Count: 5}, {Mem: 0.5, Count: 5}, {Mem: 0.75, Count: 5}, {Mem: 1.0, Count: 5},
+	}
+	res := sim.New(cfg, jobs, g, rng).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("graphene failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+}
+
+func TestGrapheneTroublesomeDetection(t *testing.T) {
+	g := NewGraphene(GrapheneConfig{Alpha: -1, WorkFrac: 0.5, MemThreshold: 0.8})
+	j := &dag.Job{Stages: []*dag.Stage{
+		{ID: 0, NumTasks: 10, TaskDuration: 10, MemReq: 0.1, CPUReq: 1}, // 100s: dominant
+		{ID: 1, NumTasks: 1, TaskDuration: 1, MemReq: 0.9, CPUReq: 1},   // high memory
+		{ID: 2, NumTasks: 2, TaskDuration: 1, MemReq: 0.1, CPUReq: 1},   // benign
+	}}
+	j.AddEdge(0, 2)
+	j.AddEdge(1, 2)
+	js := &sim.JobState{Job: j}
+	tr := g.troublesome(js)
+	if !tr[0] || !tr[1] || tr[2] {
+		t.Fatalf("troublesome set = %v, want {0,1}", tr)
+	}
+}
+
+func TestFairHandlesContinuousArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	jobs := workload.Poisson(rng, 30, workload.IATForLoad(0.6, 20))
+	res := sim.New(sim.SparkDefaults(20), jobs, NewFair(), rng).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("fair failed under continuous arrivals: %d unfinished", res.Unfinished)
+	}
+}
+
+func TestAllBaselinesOnSameBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	jobs := workload.Batch(rng, 12)
+	scheds := map[string]sim.Scheduler{
+		"fifo":       NewFIFO(),
+		"sjfcp":      NewSJFCP(),
+		"fair":       NewFair(),
+		"naive-wf":   NewNaiveWeightedFair(),
+		"opt-wf":     NewWeightedFair(-1),
+		"tetris":     NewTetris(),
+		"graphene":   NewGraphene(DefaultGrapheneConfig()),
+		"fixedorder": NewFixedOrder([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}),
+	}
+	jcts := map[string]float64{}
+	for name, s := range scheds {
+		res := run(t, jobs, s, 25)
+		jcts[name] = res.AvgJCT()
+	}
+	// Qualitative shape from §7.2: fair-family schedulers beat FIFO on a
+	// heavy-tailed batch.
+	if jcts["fair"] >= jcts["fifo"] {
+		t.Fatalf("fair (%.1f) should beat FIFO (%.1f)", jcts["fair"], jcts["fifo"])
+	}
+	if jcts["opt-wf"] > jcts["fifo"] {
+		t.Fatalf("opt weighted fair (%.1f) should beat FIFO (%.1f)", jcts["opt-wf"], jcts["fifo"])
+	}
+}

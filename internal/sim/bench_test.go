@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// BenchmarkSimulateBatch measures raw simulator throughput: a 10-job batch
+// of random DAGs on 16 executors under a greedy scheduler.
+func BenchmarkSimulateBatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		var jobs []*dag.Job
+		for j := 0; j < 10; j++ {
+			d := dag.Random(rng, 8, 0.3)
+			d.ID = j
+			jobs = append(jobs, d)
+		}
+		res := New(SparkDefaults(16), jobs, greedy(), rng).Run()
+		if res.Unfinished != 0 {
+			b.Fatal("unfinished jobs")
+		}
+	}
+}

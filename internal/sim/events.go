@@ -1,0 +1,76 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the simulator's event types.
+type eventKind int
+
+const (
+	evTaskDone eventKind = iota
+	evJobArrival
+	evExecArrive // executor finished moving between jobs
+)
+
+// event is one entry in the simulation's time-ordered queue.
+type event struct {
+	time float64
+	seq  int // tie-breaker for determinism
+	kind eventKind
+
+	exec  *Executor
+	stage *StageState
+	job   *JobState
+	// dur is the actual task duration for evTaskDone accounting.
+	dur float64
+}
+
+// eventQueue is a min-heap over (time, seq).
+type eventQueue struct {
+	items []*event
+	seq   int
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].time != q.items[j].time {
+		return q.items[i].time < q.items[j].time
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(*event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// push enqueues an event, stamping the determinism tie-breaker.
+func (q *eventQueue) push(e *event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(q, e)
+}
+
+// pop dequeues the earliest event or returns nil when empty.
+func (q *eventQueue) pop() *event {
+	if q.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*event)
+}
+
+// peekTime returns the next event time, or ok=false when empty.
+func (q *eventQueue) peekTime() (float64, bool) {
+	if q.Len() == 0 {
+		return 0, false
+	}
+	return q.items[0].time, true
+}

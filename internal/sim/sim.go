@@ -1,0 +1,451 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// ExecutorClass describes one class of executors in the multi-resource
+// setting (§7.3): Count executors, each with 1 CPU and Mem normalized
+// memory.
+type ExecutorClass struct {
+	Mem   float64
+	Count int
+}
+
+// Config controls which real-world effects the simulator models (§6.2).
+type Config struct {
+	// NumExecutors is the number of identical executors when Classes is
+	// empty (the single-resource setting).
+	NumExecutors int
+	// Classes, when non-empty, defines the multi-resource executor classes;
+	// NumExecutors is ignored.
+	Classes []ExecutorClass
+	// MoveDelay is the idle time imposed when an executor moves between
+	// jobs (JVM startup, 2–3 s on the paper's testbed). Zero models free
+	// executor motion (Fig. 13b).
+	MoveDelay float64
+	// FirstWaveFactor multiplies the duration of first-wave tasks (tasks
+	// launched before any task of the stage completed); ≥ 1, with 1
+	// disabling the effect.
+	FirstWaveFactor float64
+	// DurationNoise is the σ of mean-preserving lognormal noise on task
+	// durations; 0 disables noise.
+	DurationNoise float64
+	// EnableInflation applies each job's parallelism work-inflation curve.
+	EnableInflation bool
+	// RecordTimeline retains per-task execution intervals in the result
+	// (needed for the schedule visualisations of Figs. 3 and 13).
+	RecordTimeline bool
+}
+
+// SparkDefaults returns the detailed simulator configuration used for
+// training and evaluation: move delay, first-wave slowdown, duration noise
+// and work inflation all enabled, matching §6.2.
+func SparkDefaults(numExecutors int) Config {
+	return Config{
+		NumExecutors:    numExecutors,
+		MoveDelay:       2.5,
+		FirstWaveFactor: 1.3,
+		DurationNoise:   0.05,
+		EnableInflation: true,
+	}
+}
+
+// Idealized returns the simplified configuration of Appendix H: no waves,
+// no startup delays, no inflation, no noise, so stage duration scales
+// inversely with parallelism and executors move freely.
+func Idealized(numExecutors int) Config {
+	return Config{NumExecutors: numExecutors, FirstWaveFactor: 1}
+}
+
+// TaskInterval records one task execution for schedule visualisation.
+type TaskInterval struct {
+	JobID  int
+	ExecID int
+	Start  float64
+	End    float64
+}
+
+// JobRecord summarises one job's outcome.
+type JobRecord struct {
+	ID           int
+	Name         string
+	Arrival      float64
+	Completion   float64
+	TotalWork    float64 // baseline task-seconds from the DAG
+	WorkExecuted float64 // actual task-seconds run (waves + inflation)
+	// ExecutorSeconds is occupancy per executor class.
+	ExecutorSeconds map[int]float64
+}
+
+// JCT returns the job's completion time minus arrival.
+func (r JobRecord) JCT() float64 { return r.Completion - r.Arrival }
+
+// Result summarises a simulation run.
+type Result struct {
+	// Completed holds records for finished jobs in completion order.
+	Completed []JobRecord
+	// Unfinished counts jobs still in the system when the run stopped.
+	Unfinished int
+	// Makespan is the latest completion time observed.
+	Makespan float64
+	// JobSeconds is the ∫ #jobs-in-system dt integral over the run.
+	JobSeconds float64
+	// Deadlock reports that active jobs remained but no events were pending
+	// (a scheduler declined to schedule runnable work indefinitely).
+	Deadlock bool
+	// Invocations counts scheduler calls.
+	Invocations int
+	// Timeline holds task intervals when Config.RecordTimeline is set.
+	Timeline []TaskInterval
+}
+
+// AvgJCT returns the mean job completion time over completed jobs.
+func (r *Result) AvgJCT() float64 {
+	if len(r.Completed) == 0 {
+		return 0
+	}
+	var s float64
+	for _, j := range r.Completed {
+		s += j.JCT()
+	}
+	return s / float64(len(r.Completed))
+}
+
+// Sim is one simulation instance. Create with New, drive with Run or
+// RunUntil.
+type Sim struct {
+	cfg   Config
+	rng   *rand.Rand
+	sched Scheduler
+
+	queue  eventQueue
+	execs  []*Executor
+	all    []*JobState
+	active []*JobState
+
+	now         float64
+	jobSeconds  float64
+	invocations int
+	deadlock    bool
+	timeline    []TaskInterval
+	doneCount   int
+	records     []JobRecord
+}
+
+// New builds a simulation over the given jobs (scheduled by arrival time)
+// under the given scheduler. The jobs' runtime state is private to the
+// simulation; callers may reuse the same *dag.Job values across runs only
+// if they treat them as immutable.
+func New(cfg Config, jobs []*dag.Job, sched Scheduler, rng *rand.Rand) *Sim {
+	s := &Sim{cfg: cfg, rng: rng, sched: sched}
+	if len(cfg.Classes) == 0 {
+		for i := 0; i < cfg.NumExecutors; i++ {
+			s.execs = append(s.execs, &Executor{ID: i, Class: 0, Mem: 1})
+		}
+	} else {
+		id := 0
+		for ci, c := range cfg.Classes {
+			for i := 0; i < c.Count; i++ {
+				s.execs = append(s.execs, &Executor{ID: id, Class: ci, Mem: c.Mem})
+				id++
+			}
+		}
+	}
+	sorted := append([]*dag.Job(nil), jobs...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Arrival < sorted[b].Arrival })
+	for _, j := range sorted {
+		js := &JobState{Job: j, Limit: 0, ExecutorSeconds: map[int]float64{}}
+		for _, st := range j.Stages {
+			js.Stages = append(js.Stages, &StageState{Stage: st, Job: js})
+		}
+		s.all = append(s.all, js)
+		s.queue.push(&event{time: j.Arrival, kind: evJobArrival, job: js})
+	}
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Run simulates until every job completes (or deadlock) and returns the
+// result.
+func (s *Sim) Run() *Result { return s.RunUntil(math.Inf(1)) }
+
+// RunUntil simulates until the given horizon (exclusive of later events),
+// the completion of all jobs, or deadlock. RL training uses finite horizons
+// drawn from an exponential distribution (§5.3 curriculum).
+func (s *Sim) RunUntil(horizon float64) *Result {
+	for s.doneCount < len(s.all) {
+		t, ok := s.queue.peekTime()
+		if !ok {
+			if len(s.active) > 0 {
+				s.deadlock = true
+			}
+			break
+		}
+		if t > horizon {
+			s.advanceTo(horizon)
+			break
+		}
+		s.advanceTo(t)
+		// Drain all events at this timestamp before invoking the scheduler,
+		// so e.g. a batch of simultaneous arrivals is seen as one event.
+		needSched := false
+		for {
+			nt, ok := s.queue.peekTime()
+			if !ok || nt != t {
+				break
+			}
+			if s.handle(s.queue.pop()) {
+				needSched = true
+			}
+		}
+		if needSched {
+			s.runSchedulingEvent()
+		}
+	}
+	return s.result()
+}
+
+// advanceTo moves simulation time forward, integrating job-seconds.
+func (s *Sim) advanceTo(t float64) {
+	if t < s.now {
+		return
+	}
+	s.jobSeconds += (t - s.now) * float64(len(s.active))
+	s.now = t
+}
+
+// handle processes one event and reports whether a scheduling event should
+// follow.
+func (s *Sim) handle(e *event) bool {
+	switch e.kind {
+	case evJobArrival:
+		s.active = append(s.active, e.job)
+		return true
+
+	case evTaskDone:
+		st := e.stage
+		job := st.Job
+		st.TasksDone++
+		st.Running--
+		job.WorkExecuted += e.dur
+		e.exec.busy = false
+		needSched := false
+		if st.TasksDone == st.Stage.NumTasks {
+			st.Completed = true
+			job.StagesDone++
+			for _, c := range st.Stage.Children {
+				job.Stages[c].ParentsDone++
+			}
+			needSched = true
+			if job.StagesDone == len(job.Stages) {
+				s.completeJob(job)
+			}
+		}
+		// Spark's task-level scheduler: the executor keeps pulling tasks
+		// from its stage while the job's limit allows.
+		if !job.Done && st.TasksLaunched < st.Stage.NumTasks && job.Executors <= job.Limit {
+			s.launchTask(e.exec, st)
+			return needSched
+		}
+		// Otherwise the executor frees up (staying local to the job).
+		job.Executors--
+		return true
+
+	case evExecArrive:
+		st := e.stage
+		job := st.Job
+		if !job.Done && st.TasksLaunched < st.Stage.NumTasks && !st.Completed {
+			s.launchTask(e.exec, st)
+			return false
+		}
+		// The target stage no longer needs executors; try a sibling stage.
+		if !job.Done {
+			for _, alt := range job.Stages {
+				if alt.Runnable() {
+					s.launchTask(e.exec, alt)
+					return false
+				}
+			}
+		}
+		e.exec.busy = false
+		job.Executors--
+		return true
+	}
+	return false
+}
+
+// completeJob finalises a job and removes it from the active set.
+func (s *Sim) completeJob(job *JobState) {
+	job.Done = true
+	job.Completion = s.now
+	for i, a := range s.active {
+		if a == job {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.doneCount++
+	es := make(map[int]float64, len(job.ExecutorSeconds))
+	for k, v := range job.ExecutorSeconds {
+		es[k] = v
+	}
+	s.records = append(s.records, JobRecord{
+		ID:              job.Job.ID,
+		Name:            job.Job.Name,
+		Arrival:         job.Job.Arrival,
+		Completion:      s.now,
+		TotalWork:       job.Job.TotalWork(),
+		WorkExecuted:    job.WorkExecuted,
+		ExecutorSeconds: es,
+	})
+}
+
+// launchTask starts one task of st on executor e at the current time.
+func (s *Sim) launchTask(e *Executor, st *StageState) {
+	job := st.Job
+	st.TasksLaunched++
+	st.Running++
+	dur := st.Stage.TaskDuration
+	if st.TasksDone == 0 && s.cfg.FirstWaveFactor > 1 {
+		dur *= s.cfg.FirstWaveFactor
+	}
+	if s.cfg.EnableInflation && job.Job.Inflation != nil {
+		p := job.Executors
+		if p < 1 {
+			p = 1
+		}
+		dur *= job.Job.Inflation(p)
+	}
+	if s.cfg.DurationNoise > 0 {
+		sig := s.cfg.DurationNoise
+		dur *= math.Exp(sig*s.rng.NormFloat64() - sig*sig/2)
+	}
+	e.busy = true
+	e.BoundTo = job
+	job.ExecutorSeconds[e.Class] += dur
+	if s.cfg.RecordTimeline {
+		s.timeline = append(s.timeline, TaskInterval{JobID: job.Job.ID, ExecID: e.ID, Start: s.now, End: s.now + dur})
+	}
+	s.queue.push(&event{time: s.now + dur, kind: evTaskDone, exec: e, stage: st, dur: dur})
+}
+
+// runSchedulingEvent repeatedly consults the scheduler, assigning free
+// executors per action until executors run out, the scheduler declines, or
+// an action makes no progress (§5.2's repeat-until-assigned loop).
+func (s *Sim) runSchedulingEvent() {
+	for {
+		state := s.buildState()
+		if len(state.FreeExecutors) == 0 || len(state.Jobs) == 0 {
+			return
+		}
+		s.invocations++
+		act := s.sched.Schedule(state)
+		if act == nil || act.Stage == nil {
+			return
+		}
+		if s.apply(act, state) == 0 {
+			return
+		}
+	}
+}
+
+// apply executes one action, returning the number of executors assigned.
+func (s *Sim) apply(act *Action, state *State) int {
+	st := act.Stage
+	job := st.Job
+	if job.Done || st.Completed {
+		return 0
+	}
+	if act.Limit > 0 {
+		job.Limit = act.Limit
+	} else if job.Limit == 0 {
+		// A scheduler that does not manage parallelism (e.g. FIFO) gets
+		// Spark's default of "as many executors as available".
+		job.Limit = len(s.execs)
+	}
+	want := job.Limit - job.Executors
+	if r := st.RemainingTasks(); want > r {
+		want = r
+	}
+	if want <= 0 {
+		return 0
+	}
+	// Rank eligible free executors: local ones first (no move delay), then
+	// by class match, then smallest sufficient memory (best fit).
+	var eligible []*Executor
+	for _, e := range state.FreeExecutors {
+		if e.Mem < st.Stage.MemReq {
+			continue
+		}
+		if act.Class >= 0 && e.Class != act.Class {
+			continue
+		}
+		eligible = append(eligible, e)
+	}
+	sort.SliceStable(eligible, func(a, b int) bool {
+		la, lb := eligible[a].LocalTo(job), eligible[b].LocalTo(job)
+		if la != lb {
+			return la
+		}
+		return eligible[a].Mem < eligible[b].Mem
+	})
+	if want > len(eligible) {
+		want = len(eligible)
+	}
+	assigned := 0
+	for _, e := range eligible[:want] {
+		job.Executors++
+		if e.LocalTo(job) || s.cfg.MoveDelay == 0 {
+			s.launchTask(e, st)
+		} else {
+			e.busy = true
+			e.BoundTo = job
+			job.ExecutorSeconds[e.Class] += s.cfg.MoveDelay
+			s.queue.push(&event{time: s.now + s.cfg.MoveDelay, kind: evExecArrive, exec: e, stage: st})
+		}
+		assigned++
+	}
+	return assigned
+}
+
+// buildState snapshots the cluster for the scheduler.
+func (s *Sim) buildState() *State {
+	st := &State{
+		Time:           s.now,
+		Jobs:           append([]*JobState(nil), s.active...),
+		TotalExecutors: len(s.execs),
+		JobSeconds:     s.jobSeconds,
+		MoveDelay:      s.cfg.MoveDelay,
+	}
+	for _, e := range s.execs {
+		if e.Free() {
+			st.FreeExecutors = append(st.FreeExecutors, e)
+		}
+	}
+	return st
+}
+
+// result snapshots the run outcome.
+func (s *Sim) result() *Result {
+	r := &Result{
+		Completed:   append([]JobRecord(nil), s.records...),
+		Unfinished:  len(s.all) - s.doneCount,
+		JobSeconds:  s.jobSeconds,
+		Deadlock:    s.deadlock,
+		Invocations: s.invocations,
+		Timeline:    s.timeline,
+	}
+	for _, rec := range r.Completed {
+		if rec.Completion > r.Makespan {
+			r.Makespan = rec.Completion
+		}
+	}
+	return r
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+)
+
+// greedy schedules the first runnable stage with an unbounded limit.
+func greedy() Scheduler {
+	return SchedulerFunc(func(s *State) *Action {
+		for _, j := range s.Jobs {
+			for _, st := range j.Stages {
+				if st.Runnable() && s.FreeCount(st) > 0 {
+					return &Action{Stage: st, Limit: s.TotalExecutors, Class: -1}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// singleStageJob builds a one-stage job with the given tasks and duration.
+func singleStageJob(id, tasks int, dur float64) *dag.Job {
+	return &dag.Job{ID: id, Name: "single", Stages: []*dag.Stage{
+		{ID: 0, NumTasks: tasks, TaskDuration: dur, CPUReq: 1},
+	}}
+}
+
+// chainJob builds a 3-stage chain with the given tasks per stage.
+func chainJob(id int, tasks int, dur float64) *dag.Job {
+	j := &dag.Job{ID: id, Name: "chain"}
+	for i := 0; i < 3; i++ {
+		j.Stages = append(j.Stages, &dag.Stage{ID: i, NumTasks: tasks, TaskDuration: dur, CPUReq: 1})
+	}
+	j.AddEdge(0, 1)
+	j.AddEdge(1, 2)
+	return j
+}
+
+func TestSingleStageExactJCT(t *testing.T) {
+	// 10 tasks of 2s on 3 executors in the idealized config take ⌈10/3⌉·2 = 8s.
+	cfg := Idealized(3)
+	s := New(cfg, []*dag.Job{singleStageJob(0, 10, 2)}, greedy(), rand.New(rand.NewSource(1)))
+	res := s.Run()
+	if len(res.Completed) != 1 || res.Unfinished != 0 {
+		t.Fatalf("completed=%d unfinished=%d", len(res.Completed), res.Unfinished)
+	}
+	if got := res.Completed[0].JCT(); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("JCT = %v, want 8", got)
+	}
+	if math.Abs(res.JobSeconds-8) > 1e-9 {
+		t.Fatalf("JobSeconds = %v, want 8", res.JobSeconds)
+	}
+}
+
+func TestChainRespectsDependencies(t *testing.T) {
+	cfg := Idealized(4)
+	cfg.RecordTimeline = true
+	job := chainJob(0, 4, 1)
+	s := New(cfg, []*dag.Job{job}, greedy(), rand.New(rand.NewSource(1)))
+	res := s.Run()
+	if res.Unfinished != 0 {
+		t.Fatal("job unfinished")
+	}
+	// Three stages of 4 tasks on 4 executors: each stage takes 1s, total 3s.
+	if got := res.Completed[0].JCT(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("chain JCT = %v, want 3", got)
+	}
+}
+
+func TestTaskConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var jobs []*dag.Job
+		total := 0.0
+		for i := 0; i < 3; i++ {
+			j := dag.Random(rng, 2+rng.Intn(8), 0.4)
+			j.ID = i
+			jobs = append(jobs, j)
+			total += j.TotalWork()
+		}
+		s := New(Idealized(5), jobs, greedy(), rng)
+		res := s.Run()
+		if res.Unfinished != 0 || res.Deadlock {
+			return false
+		}
+		var executed float64
+		for _, r := range res.Completed {
+			executed += r.WorkExecuted
+		}
+		// With no waves/inflation/noise, executed work equals DAG work.
+		return math.Abs(executed-total) < 1e-6*total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoExecutorDoubleBooking(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var jobs []*dag.Job
+	for i := 0; i < 4; i++ {
+		j := dag.Random(rng, 6, 0.4)
+		j.ID = i
+		j.Arrival = float64(i) * 3
+		jobs = append(jobs, j)
+	}
+	cfg := SparkDefaults(4)
+	cfg.RecordTimeline = true
+	res := New(cfg, jobs, greedy(), rng).Run()
+	byExec := map[int][]TaskInterval{}
+	for _, iv := range res.Timeline {
+		byExec[iv.ExecID] = append(byExec[iv.ExecID], iv)
+	}
+	for id, ivs := range byExec {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End-1e-9 {
+				t.Fatalf("executor %d overlaps: %v then %v", id, ivs[i-1], ivs[i])
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		rng := rand.New(rand.NewSource(99))
+		var jobs []*dag.Job
+		for i := 0; i < 5; i++ {
+			j := dag.Random(rng, 5, 0.3)
+			j.ID = i
+			j.Arrival = float64(i)
+			jobs = append(jobs, j)
+		}
+		return New(SparkDefaults(4), jobs, greedy(), rng).Run()
+	}
+	a, b := run(), run()
+	if a.AvgJCT() != b.AvgJCT() || a.Makespan != b.Makespan || a.JobSeconds != b.JobSeconds {
+		t.Fatalf("nondeterministic: %v vs %v", a.AvgJCT(), b.AvgJCT())
+	}
+}
+
+func TestMoveDelaySlowsSecondJob(t *testing.T) {
+	mk := func() []*dag.Job {
+		return []*dag.Job{singleStageJob(0, 4, 2), singleStageJob(1, 4, 2)}
+	}
+	fast := New(Config{NumExecutors: 4, FirstWaveFactor: 1}, mk(), greedy(), rand.New(rand.NewSource(1))).Run()
+	slowCfg := Config{NumExecutors: 4, FirstWaveFactor: 1, MoveDelay: 3}
+	slow := New(slowCfg, mk(), greedy(), rand.New(rand.NewSource(1))).Run()
+	if slow.Makespan <= fast.Makespan {
+		t.Fatalf("move delay had no effect: %v vs %v", slow.Makespan, fast.Makespan)
+	}
+	// Executors are fresh (not bound) at the start, so moving onto the first
+	// job also pays the delay; the gap should be at least one move delay.
+	if slow.Makespan-fast.Makespan < 3 {
+		t.Fatalf("makespan gap = %v, want ≥ 3", slow.Makespan-fast.Makespan)
+	}
+}
+
+func TestFirstWaveInflatesWork(t *testing.T) {
+	base := New(Idealized(2), []*dag.Job{singleStageJob(0, 6, 1)}, greedy(), rand.New(rand.NewSource(1))).Run()
+	cfg := Idealized(2)
+	cfg.FirstWaveFactor = 1.5
+	wave := New(cfg, []*dag.Job{singleStageJob(0, 6, 1)}, greedy(), rand.New(rand.NewSource(1))).Run()
+	if wave.Completed[0].WorkExecuted <= base.Completed[0].WorkExecuted {
+		t.Fatal("first-wave factor did not inflate executed work")
+	}
+}
+
+func TestInflationAtHighParallelism(t *testing.T) {
+	mk := func() *dag.Job {
+		j := singleStageJob(0, 20, 1)
+		j.Inflation = func(p int) float64 {
+			if p <= 2 {
+				return 1
+			}
+			return 1.5
+		}
+		return j
+	}
+	cfg := Idealized(10)
+	cfg.EnableInflation = true
+	wide := New(cfg, []*dag.Job{mk()}, greedy(), rand.New(rand.NewSource(1))).Run()
+	cfg2 := Idealized(2)
+	cfg2.EnableInflation = true
+	narrow := New(cfg2, []*dag.Job{mk()}, greedy(), rand.New(rand.NewSource(1))).Run()
+	if wide.Completed[0].WorkExecuted <= narrow.Completed[0].WorkExecuted {
+		t.Fatal("inflation did not penalise high parallelism")
+	}
+}
+
+func TestParallelismLimitHonored(t *testing.T) {
+	limitSched := SchedulerFunc(func(s *State) *Action {
+		for _, j := range s.Jobs {
+			for _, st := range j.Stages {
+				if st.Runnable() {
+					return &Action{Stage: st, Limit: 2, Class: -1}
+				}
+			}
+		}
+		return nil
+	})
+	cfg := Idealized(8)
+	cfg.RecordTimeline = true
+	res := New(cfg, []*dag.Job{singleStageJob(0, 10, 1)}, limitSched, rand.New(rand.NewSource(1))).Run()
+	// Max concurrency over the timeline must be ≤ 2.
+	type pt struct {
+		t float64
+		d int
+	}
+	var pts []pt
+	for _, iv := range res.Timeline {
+		pts = append(pts, pt{iv.Start, 1}, pt{iv.End, -1})
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].t != pts[b].t {
+			return pts[a].t < pts[b].t
+		}
+		return pts[a].d < pts[b].d
+	})
+	cur, maxC := 0, 0
+	for _, p := range pts {
+		cur += p.d
+		if cur > maxC {
+			maxC = cur
+		}
+	}
+	if maxC > 2 {
+		t.Fatalf("max concurrency %d exceeds limit 2", maxC)
+	}
+	if got := res.Completed[0].JCT(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("JCT = %v, want 5 (10 tasks at limit 2)", got)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	res := New(Idealized(1), []*dag.Job{singleStageJob(0, 10, 1)}, greedy(), rand.New(rand.NewSource(1))).RunUntil(3.5)
+	if res.Unfinished != 1 {
+		t.Fatalf("unfinished = %d, want 1", res.Unfinished)
+	}
+	if math.Abs(res.JobSeconds-3.5) > 1e-9 {
+		t.Fatalf("JobSeconds = %v, want 3.5", res.JobSeconds)
+	}
+}
+
+func TestDecliningSchedulerDeadlocks(t *testing.T) {
+	never := SchedulerFunc(func(s *State) *Action { return nil })
+	res := New(Idealized(2), []*dag.Job{singleStageJob(0, 2, 1)}, never, rand.New(rand.NewSource(1))).Run()
+	if !res.Deadlock {
+		t.Fatal("deadlock not detected")
+	}
+	if res.Unfinished != 1 {
+		t.Fatalf("unfinished = %d", res.Unfinished)
+	}
+}
+
+func TestMultiResourceMemoryFit(t *testing.T) {
+	job := singleStageJob(0, 6, 1)
+	job.Stages[0].MemReq = 0.8
+	cfg := Config{
+		Classes:         []ExecutorClass{{Mem: 0.25, Count: 2}, {Mem: 1.0, Count: 2}},
+		FirstWaveFactor: 1,
+	}
+	res := New(cfg, []*dag.Job{job}, greedy(), rand.New(rand.NewSource(1))).Run()
+	if res.Unfinished != 0 {
+		t.Fatal("job unfinished")
+	}
+	rec := res.Completed[0]
+	if rec.ExecutorSeconds[0] != 0 {
+		t.Fatalf("small-class executor ran a 0.8-mem task: %v", rec.ExecutorSeconds)
+	}
+	if rec.ExecutorSeconds[1] <= 0 {
+		t.Fatal("large class unused")
+	}
+	// Only 2 executors fit: 6 tasks at 1s → JCT 3.
+	if math.Abs(rec.JCT()-3) > 1e-9 {
+		t.Fatalf("JCT = %v, want 3", rec.JCT())
+	}
+}
+
+func TestClassRestrictedAction(t *testing.T) {
+	classSched := SchedulerFunc(func(s *State) *Action {
+		for _, j := range s.Jobs {
+			for _, st := range j.Stages {
+				if st.Runnable() {
+					return &Action{Stage: st, Limit: s.TotalExecutors, Class: 1}
+				}
+			}
+		}
+		return nil
+	})
+	job := singleStageJob(0, 4, 1)
+	cfg := Config{
+		Classes:         []ExecutorClass{{Mem: 0.5, Count: 2}, {Mem: 1.0, Count: 1}},
+		FirstWaveFactor: 1,
+	}
+	res := New(cfg, []*dag.Job{job}, classSched, rand.New(rand.NewSource(1))).Run()
+	rec := res.Completed[0]
+	if rec.ExecutorSeconds[0] != 0 {
+		t.Fatal("action with Class=1 used class-0 executors")
+	}
+	if math.Abs(rec.JCT()-4) > 1e-9 {
+		t.Fatalf("JCT = %v, want 4 (single executor)", rec.JCT())
+	}
+}
+
+func TestStaggeredArrivals(t *testing.T) {
+	jobs := []*dag.Job{singleStageJob(0, 2, 1), singleStageJob(1, 2, 1)}
+	jobs[1].Arrival = 10
+	res := New(Idealized(2), jobs, greedy(), rand.New(rand.NewSource(1))).Run()
+	if len(res.Completed) != 2 {
+		t.Fatal("jobs incomplete")
+	}
+	for _, r := range res.Completed {
+		if r.Completion < r.Arrival {
+			t.Fatal("completion before arrival")
+		}
+	}
+	if math.Abs(res.JobSeconds-2) > 1e-9 { // each job alone in system for 1s
+		t.Fatalf("JobSeconds = %v, want 2", res.JobSeconds)
+	}
+}
+
+func TestMakespanAndAvgJCT(t *testing.T) {
+	jobs := []*dag.Job{singleStageJob(0, 2, 1), singleStageJob(1, 4, 1)}
+	res := New(Idealized(2), jobs, greedy(), rand.New(rand.NewSource(1))).Run()
+	if res.Makespan <= 0 || res.AvgJCT() <= 0 {
+		t.Fatal("empty metrics")
+	}
+	var worst float64
+	for _, r := range res.Completed {
+		if r.Completion > worst {
+			worst = r.Completion
+		}
+	}
+	if res.Makespan != worst {
+		t.Fatalf("makespan %v != max completion %v", res.Makespan, worst)
+	}
+}
+
+func TestDurationNoisePreservesMeanRoughly(t *testing.T) {
+	cfg := Idealized(1)
+	cfg.DurationNoise = 0.3
+	var sum float64
+	n := 40
+	for i := 0; i < n; i++ {
+		res := New(cfg, []*dag.Job{singleStageJob(0, 20, 1)}, greedy(), rand.New(rand.NewSource(int64(i)))).Run()
+		sum += res.Completed[0].WorkExecuted
+	}
+	mean := sum / float64(n) / 20 // per-task mean
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("noisy task mean duration = %v, want ≈1 (mean-preserving)", mean)
+	}
+}
+
+func TestSchedulerSeesJobSecondsMonotone(t *testing.T) {
+	var last float64 = -1
+	mono := true
+	inner := greedy()
+	watch := SchedulerFunc(func(s *State) *Action {
+		if s.JobSeconds < last {
+			mono = false
+		}
+		last = s.JobSeconds
+		return inner.Schedule(s)
+	})
+	rng := rand.New(rand.NewSource(3))
+	var jobs []*dag.Job
+	for i := 0; i < 5; i++ {
+		j := dag.Random(rng, 4, 0.4)
+		j.ID = i
+		j.Arrival = float64(i) * 2
+		jobs = append(jobs, j)
+	}
+	New(SparkDefaults(3), jobs, watch, rng).Run()
+	if !mono {
+		t.Fatal("JobSeconds not monotone across scheduling events")
+	}
+}

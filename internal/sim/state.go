@@ -1,0 +1,184 @@
+// Package sim is a discrete-event simulator of a Spark-like cluster,
+// reproducing the training environment of §6.2: executors bound to jobs,
+// task waves (with slower first waves), executor-move (JVM startup) delays,
+// and work inflation at high degrees of parallelism. It supports both the
+// single-resource setting (identical executors, §7.2) and the
+// multi-resource setting (discrete executor memory classes, §7.3).
+//
+// Schedulers — Decima and every baseline — plug in behind the Scheduler
+// interface: at each scheduling event the simulator calls Schedule
+// repeatedly, assigning executors per returned action, until executors run
+// out or the scheduler declines.
+package sim
+
+import (
+	"repro/internal/dag"
+)
+
+// StageState is the runtime state of one stage.
+type StageState struct {
+	// Stage is the static stage description.
+	Stage *dag.Stage
+	// Job is the owning job's runtime state.
+	Job *JobState
+	// TasksLaunched counts tasks handed to executors (including moving ones).
+	TasksLaunched int
+	// TasksDone counts completed tasks.
+	TasksDone int
+	// ParentsDone counts completed parent stages.
+	ParentsDone int
+	// Running counts tasks currently executing.
+	Running int
+	// Completed reports whether all tasks finished.
+	Completed bool
+}
+
+// Runnable reports whether the stage can accept executors: all parents
+// complete and unlaunched tasks remain (§5.2's definition of the action
+// set A_t).
+func (s *StageState) Runnable() bool {
+	return !s.Completed &&
+		s.ParentsDone == len(s.Stage.Parents) &&
+		s.TasksLaunched < s.Stage.NumTasks
+}
+
+// RemainingTasks returns the number of tasks not yet launched.
+func (s *StageState) RemainingTasks() int { return s.Stage.NumTasks - s.TasksLaunched }
+
+// RemainingWork returns the expected work left in the stage, in
+// task-seconds at baseline duration.
+func (s *StageState) RemainingWork() float64 {
+	return float64(s.Stage.NumTasks-s.TasksDone) * s.Stage.TaskDuration
+}
+
+// JobState is the runtime state of one job.
+type JobState struct {
+	// Job is the static job description.
+	Job *dag.Job
+	// Stages holds runtime stage states indexed like Job.Stages.
+	Stages []*StageState
+	// Executors counts executors currently bound to the job (running a
+	// task, or in flight towards it).
+	Executors int
+	// Limit is the job's current parallelism limit, set by the most recent
+	// scheduling action targeting the job.
+	Limit int
+	// StagesDone counts completed stages.
+	StagesDone int
+	// Done reports whether the whole job finished.
+	Done bool
+	// Completion is the completion time (valid once Done).
+	Completion float64
+	// WorkExecuted accumulates actual task-seconds run for the job,
+	// including wave and inflation effects (Fig. 10e's work-inflation
+	// measure).
+	WorkExecuted float64
+	// ExecutorSeconds accumulates executor occupancy (task time plus move
+	// time), per executor class.
+	ExecutorSeconds map[int]float64
+}
+
+// RunnableStages returns the job's currently runnable stages.
+func (j *JobState) RunnableStages() []*StageState {
+	var out []*StageState
+	for _, s := range j.Stages {
+		if s.Runnable() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RemainingWork returns expected task-seconds left across all stages.
+func (j *JobState) RemainingWork() float64 {
+	var w float64
+	for _, s := range j.Stages {
+		w += s.RemainingWork()
+	}
+	return w
+}
+
+// Executor is one executor slot in the cluster.
+type Executor struct {
+	// ID uniquely identifies the executor.
+	ID int
+	// Class indexes into Config.Classes (0 in the single-resource setting).
+	Class int
+	// Mem is the executor's memory capacity in normalized units.
+	Mem float64
+	// BoundTo is the job the executor last worked for; executors are "local"
+	// to that job and move to others only after Config.MoveDelay.
+	BoundTo *JobState
+	// busy reports whether the executor is running a task or moving.
+	busy bool
+}
+
+// Free reports whether the executor can be assigned work right now.
+func (e *Executor) Free() bool { return !e.busy }
+
+// LocalTo reports whether assigning the executor to job j avoids the move
+// delay.
+func (e *Executor) LocalTo(j *JobState) bool { return e.BoundTo == j }
+
+// Action is one scheduling decision: run stage Stage next, raising its
+// job's parallelism limit to Limit, drawing executors of class Class
+// (Class < 0 means any eligible class). This is the two-dimensional action
+// of §5.2, extended with the executor class for §7.3.
+type Action struct {
+	Stage *StageState
+	Limit int
+	Class int
+}
+
+// State is the cluster snapshot a scheduler observes at a scheduling event.
+type State struct {
+	// Time is the current simulation time in seconds.
+	Time float64
+	// Jobs lists jobs in the system (arrived, not finished), in arrival
+	// order.
+	Jobs []*JobState
+	// FreeExecutors lists currently assignable executors.
+	FreeExecutors []*Executor
+	// TotalExecutors is the cluster's executor count.
+	TotalExecutors int
+	// JobSeconds is the integral of the number-of-jobs-in-system over time
+	// up to Time; consecutive differences give the paper's reward
+	// −(t_k − t_{k-1})·J (§5.3).
+	JobSeconds float64
+	// MoveDelay echoes Config.MoveDelay so agents can reason about locality.
+	MoveDelay float64
+}
+
+// RunnableStages returns all runnable stages across jobs (the action set).
+func (s *State) RunnableStages() []*StageState {
+	var out []*StageState
+	for _, j := range s.Jobs {
+		out = append(out, j.RunnableStages()...)
+	}
+	return out
+}
+
+// FreeCount returns the number of free executors whose memory fits stage st
+// (any free executor if st is nil).
+func (s *State) FreeCount(st *StageState) int {
+	n := 0
+	for _, e := range s.FreeExecutors {
+		if st == nil || e.Mem >= st.Stage.MemReq {
+			n++
+		}
+	}
+	return n
+}
+
+// Scheduler decides which stage to work on next. The simulator calls
+// Schedule repeatedly within one scheduling event until no free executors
+// remain, Schedule returns nil, or an action assigns no executors.
+type Scheduler interface {
+	Schedule(s *State) *Action
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(s *State) *Action
+
+// Schedule implements Scheduler.
+func (f SchedulerFunc) Schedule(s *State) *Action { return f(s) }
