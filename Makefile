@@ -1,0 +1,32 @@
+# Developer and CI entry points. CI (.github/workflows/ci.yml) invokes these
+# same targets so local runs and CI runs are identical.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet
+
+all: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run; -short skips the slowest training tests so this stays
+# within CI minutes (the plain `test` target runs everything).
+race:
+	$(GO) test -race -short ./...
+
+# Benchmark smoke run: compile and execute every benchmark once.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...

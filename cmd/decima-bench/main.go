@@ -18,10 +18,11 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale = flag.String("scale", "tiny", "scale: tiny | small | paper")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		id      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale   = flag.String("scale", "tiny", "scale: tiny | small | paper")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "rollout workers for training runs (0 = one per CPU)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scale)
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	ids := []string{*id}
 	if *id == "all" {

@@ -33,6 +33,7 @@ func main() {
 		wl        = flag.String("workload", "tpch", "training workload: tpch | trace")
 		load      = flag.Float64("load", 0.85, "target cluster load for continuous arrivals (0 = batched)")
 		objective = flag.String("objective", "jct", "objective: jct | makespan")
+		workers   = flag.Int("workers", 0, "rollout workers (0 = one per CPU); results are identical for any value")
 		lr        = flag.Float64("lr", 3e-3, "Adam learning rate")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("out", "decima-model.gob", "model output path")
@@ -46,6 +47,7 @@ func main() {
 
 	tcfg := rl.DefaultConfig()
 	tcfg.EpisodesPerIter = *episodes
+	tcfg.Workers = *workers
 	tcfg.LR = *lr
 	if *objective == "makespan" {
 		tcfg.Objective = rl.ObjMakespan

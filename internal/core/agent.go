@@ -143,6 +143,29 @@ func (a *Agent) Params() []*nn.Tensor {
 	return append(ps, a.Pol.Params()...)
 }
 
+// Clone returns an agent with the same configuration and a deep copy of the
+// parameter values, sharing no mutable state with the receiver. The clone
+// samples actions from rng and starts with a nil Hook; parallel rollout
+// workers each hold one clone and refresh it with SyncFrom every iteration.
+func (a *Agent) Clone(rng *rand.Rand) *Agent {
+	b := New(a.Cfg, rng)
+	nn.CopyParams(b.Params(), a.Params())
+	b.Greedy = a.Greedy
+	return b
+}
+
+// SyncFrom copies parameter values from src, which must have the same
+// architecture (typically the agent this one was cloned from).
+func (a *Agent) SyncFrom(src *Agent) { nn.CopyParams(a.Params(), src.Params()) }
+
+// RNG returns the RNG the agent samples actions from.
+func (a *Agent) RNG() *rand.Rand { return a.rng }
+
+// SetRNG replaces the RNG the agent samples actions from. Rollout workers
+// install a deterministically seeded RNG per episode so action sampling is
+// reproducible regardless of how episodes are spread over workers.
+func (a *Agent) SetRNG(rng *rand.Rand) { a.rng = rng }
+
 // Save writes the agent's parameters to a file.
 func (a *Agent) Save(path string) error { return nn.SaveParamsFile(path, a.Params()) }
 

@@ -182,6 +182,7 @@ func Fig15a(sc Scale, evalEvery int) *Table {
 		a := core.New(acfg, rand.New(rand.NewSource(sc.Seed)))
 		tcfg := rl.DefaultConfig()
 		tcfg.EpisodesPerIter = sc.EpisodesPerIter
+		tcfg.Workers = sc.Workers
 		tcfg.LR = 3e-3
 		tcfg.InitialHorizon = 200
 		tcfg.HorizonGrowth = 30

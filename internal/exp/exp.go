@@ -92,6 +92,11 @@ type Scale struct {
 	TrainIters int
 	// EpisodesPerIter is the rollout count per training iteration.
 	EpisodesPerIter int
+	// Workers is the rollout worker pool size for Decima training; ≤ 0
+	// selects one worker per CPU. Results are identical for any value
+	// (the parallel engine is bit-deterministic), so this only controls
+	// wall-clock time.
+	Workers int
 	// Seed makes the whole experiment deterministic.
 	Seed int64
 }
@@ -141,6 +146,7 @@ func trainAgent(sc Scale, simCfg sim.Config, src rl.JobSource, mod func(*core.Co
 	agent := core.New(acfg, rand.New(rand.NewSource(sc.Seed)))
 	tcfg := rl.DefaultConfig()
 	tcfg.EpisodesPerIter = sc.EpisodesPerIter
+	tcfg.Workers = sc.Workers
 	tcfg.LR = 3e-3
 	tcfg.EntropyWeight = 0.2
 	tcfg.EntropyDecay = 0.999

@@ -11,10 +11,21 @@ var microScale = Scale{
 	TrainIters: 2, EpisodesPerIter: 2, Seed: 1,
 }
 
+// slowExperiments lists the experiment ids that dominate the registry
+// sweep's runtime (training-heavy or search-heavy); they are skipped under
+// -short so the race-enabled CI job stays fast while the full sweep still
+// runs in the plain test job.
+var slowExperiments = map[string]bool{
+	"fig3": true, "fig14": true, "fig15a": true, "fig22": true,
+}
+
 func TestRegistryRunsEveryExperiment(t *testing.T) {
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
+			if testing.Short() && slowExperiments[id] {
+				t.Skipf("%s is slow; skipped in -short mode", id)
+			}
 			tbl, err := Run(id, microScale)
 			if err != nil {
 				t.Fatal(err)
@@ -106,6 +117,9 @@ func TestFig19TwoLevelLearnsCriticalPath(t *testing.T) {
 }
 
 func TestFig22ExhaustiveIsLowerBoundOnOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive ordering search is slow; skipped in -short mode")
+	}
 	sc := microScale
 	sc.Executors = 5
 	tbl := Fig22(sc)

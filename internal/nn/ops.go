@@ -94,10 +94,13 @@ func AddRow(a, b *Tensor) *Tensor {
 	if b.Rows != 1 || a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: AddRow shape mismatch %d×%d + %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	m := a.Cols
 	data := make([]float64, len(a.Data))
 	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			data[i*a.Cols+j] = a.Data[i*a.Cols+j] + b.Data[j]
+		ar := a.Data[i*m : (i+1)*m]
+		or := data[i*m : (i+1)*m]
+		for j, v := range ar {
+			or[j] = v + b.Data[j]
 		}
 	}
 	var out *Tensor
@@ -108,8 +111,9 @@ func AddRow(a, b *Tensor) *Tensor {
 		if b.requiresGrad {
 			b.ensureGrad()
 			for i := 0; i < a.Rows; i++ {
-				for j := 0; j < a.Cols; j++ {
-					b.Grad[j] += out.Grad[i*a.Cols+j]
+				gr := out.Grad[i*m : (i+1)*m]
+				for j, g := range gr {
+					b.Grad[j] += g
 				}
 			}
 		}
@@ -286,10 +290,12 @@ func Mean(a *Tensor) *Tensor {
 
 // SumRows column-sums an n×m tensor into a 1×m row.
 func SumRows(a *Tensor) *Tensor {
-	data := make([]float64, a.Cols)
+	m := a.Cols
+	data := make([]float64, m)
 	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			data[j] += a.Data[i*a.Cols+j]
+		ar := a.Data[i*m : (i+1)*m]
+		for j, v := range ar {
+			data[j] += v
 		}
 	}
 	var out *Tensor
@@ -299,12 +305,13 @@ func SumRows(a *Tensor) *Tensor {
 		}
 		a.ensureGrad()
 		for i := 0; i < a.Rows; i++ {
-			for j := 0; j < a.Cols; j++ {
-				a.Grad[i*a.Cols+j] += out.Grad[j]
+			gr := a.Grad[i*m : (i+1)*m]
+			for j := range gr {
+				gr[j] += out.Grad[j]
 			}
 		}
 	}
-	out = newResult(1, a.Cols, data, back, a)
+	out = newResult(1, m, data, back, a)
 	return out
 }
 
@@ -363,8 +370,10 @@ func GatherRows(a *Tensor, idx []int) *Tensor {
 		}
 		a.ensureGrad()
 		for i, r := range idx {
-			for j := 0; j < m; j++ {
-				a.Grad[r*m+j] += out.Grad[i*m+j]
+			ag := a.Grad[r*m : (r+1)*m]
+			gr := out.Grad[i*m : (i+1)*m]
+			for j, g := range gr {
+				ag[j] += g
 			}
 		}
 	}
@@ -385,8 +394,10 @@ func SegmentSum(a *Tensor, seg []int, numSegments int) *Tensor {
 		if s < 0 || s >= numSegments {
 			panic("nn: SegmentSum index out of range")
 		}
-		for j := 0; j < m; j++ {
-			data[s*m+j] += a.Data[i*m+j]
+		dr := data[s*m : (s+1)*m]
+		ar := a.Data[i*m : (i+1)*m]
+		for j, v := range ar {
+			dr[j] += v
 		}
 	}
 	var out *Tensor
@@ -396,8 +407,10 @@ func SegmentSum(a *Tensor, seg []int, numSegments int) *Tensor {
 		}
 		a.ensureGrad()
 		for i, s := range seg {
-			for j := 0; j < m; j++ {
-				a.Grad[i*m+j] += out.Grad[s*m+j]
+			ag := a.Grad[i*m : (i+1)*m]
+			gr := out.Grad[s*m : (s+1)*m]
+			for j, g := range gr {
+				ag[j] += g
 			}
 		}
 	}
@@ -510,16 +523,20 @@ func ScatterRows(a *Tensor, idx []int, b *Tensor) *Tensor {
 				if replaced[r] {
 					continue
 				}
-				for j := 0; j < m; j++ {
-					a.Grad[r*m+j] += out.Grad[r*m+j]
+				ag := a.Grad[r*m : (r+1)*m]
+				gr := out.Grad[r*m : (r+1)*m]
+				for j, g := range gr {
+					ag[j] += g
 				}
 			}
 		}
 		if b.requiresGrad {
 			b.ensureGrad()
 			for i, r := range idx {
-				for j := 0; j < m; j++ {
-					b.Grad[i*m+j] += out.Grad[r*m+j]
+				bg := b.Grad[i*m : (i+1)*m]
+				gr := out.Grad[r*m : (r+1)*m]
+				for j, g := range gr {
+					bg[j] += g
 				}
 			}
 		}

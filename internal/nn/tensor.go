@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // Tensor is a dense row-major matrix participating in the autograd graph.
@@ -30,6 +32,13 @@ type Tensor struct {
 	requiresGrad bool
 	parents      []*Tensor
 	backFn       func()
+	// visited tags the tensor with the id of the last graph walk that saw
+	// it, replacing a per-Backward map allocation on the rollout hot path.
+	// A tensor only ever participates in one goroutine's Backward at a time
+	// (each rollout worker owns a private parameter clone), so plain writes
+	// suffice; walk ids come from an atomic counter so concurrent walks
+	// over disjoint graphs never share an id.
+	visited uint64
 }
 
 // New returns a rows×cols tensor with the given backing data (not copied).
@@ -143,7 +152,8 @@ func (t *Tensor) Backward(seed float64) {
 	if !t.requiresGrad {
 		return
 	}
-	order := topoSort(t)
+	w := walkPool.Get().(*walkScratch)
+	order := topoSort(t, w)
 	t.ensureGrad()
 	t.Grad[0] += seed
 	for i := len(order) - 1; i >= 0; i-- {
@@ -152,35 +162,63 @@ func (t *Tensor) Backward(seed float64) {
 			n.backFn()
 		}
 	}
+	// Recycle the walk buffers: REINFORCE calls Backward once per decision,
+	// so these would otherwise be reallocated thousands of times per
+	// training iteration.
+	for i := range order {
+		order[i] = nil
+	}
+	w.order = order[:0]
+	walkPool.Put(w)
 }
 
-// topoSort returns the ancestors of root (including root) in topological
-// order: parents always appear before children.
-func topoSort(root *Tensor) []*Tensor {
-	var order []*Tensor
-	visited := make(map[*Tensor]bool)
+// walkGen issues a fresh id per graph walk for the Tensor.visited tags.
+var walkGen atomic.Uint64
+
+// walkScratch holds the reusable buffers of one graph walk.
+type walkScratch struct {
+	order []*Tensor
+	stack []walkFrame
+}
+
+type walkFrame struct {
+	t    *Tensor
+	next int
+}
+
+var walkPool = sync.Pool{New: func() any { return &walkScratch{} }}
+
+// topoSort collects the ancestors of root (including root) into w.order in
+// topological order — parents always before children — and returns the
+// filled slice. It reuses w's buffers across calls.
+func topoSort(root *Tensor, w *walkScratch) []*Tensor {
+	gen := walkGen.Add(1)
+	order := w.order[:0]
 	// Iterative DFS to avoid recursion depth limits on deep graphs
 	// (message passing over long DAG chains builds deep graphs).
-	type frame struct {
-		t    *Tensor
-		next int
-	}
-	stack := []frame{{t: root}}
-	visited[root] = true
+	stack := append(w.stack[:0], walkFrame{t: root})
+	root.visited = gen
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.next < len(f.t.parents) {
 			p := f.t.parents[f.next]
 			f.next++
-			if !visited[p] && p.requiresGrad {
-				visited[p] = true
-				stack = append(stack, frame{t: p})
+			if p.visited != gen && p.requiresGrad {
+				p.visited = gen
+				stack = append(stack, walkFrame{t: p})
 			}
 			continue
 		}
 		order = append(order, f.t)
 		stack = stack[:len(stack)-1]
 	}
+	// Drop tensor references retained in the stack's spare capacity.
+	spare := stack[:cap(stack)]
+	for i := range spare {
+		spare[i] = walkFrame{}
+	}
+	w.stack = stack[:0]
+	w.order = order
 	return order
 }
 

@@ -70,6 +70,13 @@ type Config struct {
 	NoCurriculum bool
 	// DifferentialReward enables the average-reward formulation.
 	DifferentialReward bool
+	// Workers sets the rollout pool size: episodes (and their backward
+	// passes) are spread over this many goroutines, each with a private
+	// agent clone. Values ≤ 0 select one worker per available CPU
+	// (runtime.GOMAXPROCS). Training results are bit-identical for a fixed
+	// seed regardless of this setting. When Workers > 1 the JobSource is
+	// still only ever called from the trainer's goroutine.
+	Workers int
 }
 
 // DefaultConfig returns the training configuration used across the
@@ -117,6 +124,7 @@ type Trainer struct {
 
 	opt     *nn.Adam
 	rng     *rand.Rand
+	eng     *engine
 	horizon float64
 	iter    int
 	rbar    float64 // moving average of per-step reward
@@ -134,43 +142,49 @@ func NewTrainer(agent *core.Agent, cfg Config, rng *rand.Rand) *Trainer {
 	}
 }
 
+// pool returns the rollout engine, (re)building it when Config.Workers
+// changes between iterations.
+func (t *Trainer) pool() *engine {
+	n := resolveWorkers(t.Cfg.Workers)
+	if t.eng == nil || len(t.eng.workers) != n {
+		t.eng = newEngine(t.Agent, n)
+	}
+	return t.eng
+}
+
 // episode is one rollout's record.
 type episode struct {
 	steps   []*core.Step
 	result  *sim.Result
-	returns []float64 // R_k per step
+	returns []float64   // R_k per step
+	advs    []float64   // baseline-subtracted advantage per step
+	grads   [][]float64 // per-parameter gradient contribution (CloneGrads)
+	worker  int         // pool index of the worker that owns the graph
 }
 
-// rollout runs one sampled episode over the given jobs and horizon.
+// rollout runs one sampled episode on the master agent. It is the serial
+// reference path the parallel workers replicate; tests use it to inspect
+// single episodes.
 func (t *Trainer) rollout(jobs []*dag.Job, simCfg sim.Config, horizon float64, seed int64) *episode {
-	ep := &episode{}
-	agent := t.Agent
-	prevHook := agent.Hook
-	defer func() { agent.Hook = prevHook }()
-
-	// The agent is shared across sequential rollouts but never concurrent
-	// ones; hook and greedy state are restored after the run.
-	rng := rand.New(rand.NewSource(seed))
-	agent.Hook = func(s *core.Step) { ep.steps = append(ep.steps, s) }
-	ep.result = sim.New(simCfg, workload.CloneAll(jobs), agent, rng).RunUntil(horizon)
-	ep.returns = t.computeReturns(ep)
-	return ep
+	return runEpisode(t.Agent, t.Cfg, t.rbar, rolloutTask{jobs: jobs, horizon: horizon, seed: seed}, simCfg)
 }
 
 // computeReturns derives per-step returns R_k from the recorded steps and
-// the final simulator state.
-func (t *Trainer) computeReturns(ep *episode) []float64 {
+// the final simulator state. It depends only on the episode, the config and
+// the rbar moving average (frozen for the duration of an iteration), so
+// workers can call it concurrently.
+func computeReturns(cfg Config, rbar float64, ep *episode) []float64 {
 	n := len(ep.steps)
 	if n == 0 {
 		return nil
 	}
 	final := ep.result.JobSeconds
 	finalT := ep.steps[n-1].Time
-	if t.Cfg.Objective == ObjMakespan {
+	if cfg.Objective == ObjMakespan {
 		finalT = math.Max(ep.result.Makespan, finalT)
 	}
 	returns := make([]float64, n)
-	switch t.Cfg.Objective {
+	switch cfg.Objective {
 	case ObjAvgJCT:
 		// R_k = Σ_{k'≥k} −(JS_{k'+1} − JS_{k'}) = −(JS_final − JS_k).
 		for k, s := range ep.steps {
@@ -181,11 +195,11 @@ func (t *Trainer) computeReturns(ep *episode) []float64 {
 			returns[k] = -(finalT - s.Time)
 		}
 	}
-	if t.Cfg.DifferentialReward {
+	if cfg.DifferentialReward {
 		// Subtract the moving-average per-step reward: R_k gains
 		// +r̂·(T−k) since each of the remaining steps is shifted.
 		for k := range returns {
-			returns[k] += t.rbar * float64(n-k)
+			returns[k] += rbar * float64(n-k)
 		}
 	}
 	return returns
@@ -228,8 +242,14 @@ func baselineAt(ep *episode, tt float64) float64 {
 }
 
 // Iteration runs one Algorithm-1 iteration: sample horizon and sequence,
-// roll out N episodes, compute input-dependent baselines, accumulate policy
-// gradients, and step Adam.
+// roll out N episodes across the worker pool, compute input-dependent
+// baselines, accumulate policy gradients per episode, merge them in episode
+// order, and step Adam.
+//
+// The iteration is bit-for-bit deterministic for a fixed trainer seed
+// regardless of Config.Workers: all randomness is derived up front on this
+// goroutine, episodes are pure functions of their task, and gradients merge
+// in episode-index order (see parallel.go).
 func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
 	t.iter++
 	horizon := t.horizon
@@ -238,26 +258,28 @@ func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
 	}
 	tau := t.rng.ExpFloat64() * horizon
 
+	// Rollout phase: derive every episode's task on this goroutine in a
+	// fixed order, then fan the collection out over the worker pool.
 	n := t.Cfg.EpisodesPerIter
-	episodes := make([]*episode, n)
 	var shared []*dag.Job
 	if !t.Cfg.UnfixedSequences {
 		shared = src(rand.New(rand.NewSource(t.rng.Int63())))
 	}
-	for i := 0; i < n; i++ {
+	tasks := make([]rolloutTask, n)
+	for i := range tasks {
 		jobs := shared
 		if t.Cfg.UnfixedSequences {
 			jobs = src(rand.New(rand.NewSource(t.rng.Int63())))
 		}
-		episodes[i] = t.rollout(jobs, simCfg, tau, t.rng.Int63())
+		tasks[i] = rolloutTask{jobs: jobs, horizon: tau, seed: t.rng.Int63()}
 	}
+	eng := t.pool()
+	eng.sync(t.Agent)
+	episodes := eng.collect(t.Cfg, t.rbar, tasks, simCfg)
 
-	// First pass: advantages against the per-time input-dependent baseline.
-	type stepAdv struct {
-		step *core.Step
-		adv  float64
-	}
-	var advs []stepAdv
+	// Advantage pass: per-step advantages against the per-time
+	// input-dependent baseline, in episode order.
+	var totalSteps int
 	var sumReturn, sumSteps, sumEntropy float64
 	var entropyCount int
 	for i, ep := range episodes {
@@ -266,6 +288,7 @@ func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
 		}
 		sumReturn += ep.returns[0]
 		sumSteps += float64(len(ep.steps))
+		ep.advs = make([]float64, len(ep.steps))
 		for k, s := range ep.steps {
 			var b float64
 			for j, other := range episodes {
@@ -277,10 +300,11 @@ func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
 			if n > 1 {
 				b /= float64(n - 1)
 			}
-			advs = append(advs, stepAdv{s, ep.returns[k] - b})
+			ep.advs[k] = ep.returns[k] - b
 			sumEntropy += s.Entropy.Value()
 			entropyCount++
 		}
+		totalSteps += len(ep.steps)
 	}
 	// Normalise advantage scale: raw returns are job-seconds (hundreds to
 	// millions depending on the workload), which would otherwise swamp the
@@ -288,36 +312,40 @@ func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
 	// reward scale; normalising by the batch standard deviation adapts that
 	// scale to any workload automatically.
 	var meanA, sqA float64
-	for _, a := range advs {
-		meanA += a.adv
+	for _, ep := range episodes {
+		for _, a := range ep.advs {
+			meanA += a
+		}
 	}
-	if len(advs) > 0 {
-		meanA /= float64(len(advs))
+	if totalSteps > 0 {
+		meanA /= float64(totalSteps)
 	}
-	for _, a := range advs {
-		d := a.adv - meanA
-		sqA += d * d
+	for _, ep := range episodes {
+		for _, a := range ep.advs {
+			d := a - meanA
+			sqA += d * d
+		}
 	}
 	stdA := 1.0
-	if len(advs) > 1 {
-		stdA = math.Sqrt(sqA/float64(len(advs))) + 1e-8
+	if totalSteps > 1 {
+		stdA = math.Sqrt(sqA/float64(totalSteps)) + 1e-8
 	}
 
-	// Second pass: accumulate REINFORCE gradients. The loss is averaged
-	// over the batch's steps (not episodes) so the effective step size does
-	// not grow with episode length as the curriculum extends horizons.
+	// Update phase: per-episode REINFORCE gradients on each episode's
+	// owning worker, merged in episode order on this goroutine. The loss is
+	// averaged over the batch's steps (not episodes) so the effective step
+	// size does not grow with episode length as the curriculum extends
+	// horizons.
+	scale := 1.0
+	if totalSteps > 0 {
+		scale = 1 / float64(totalSteps)
+	}
+	eng.backward(episodes, stdA, scale, t.Cfg.EntropyWeight)
 	params := t.Agent.Params()
 	nn.ZeroGrads(params)
-	scale := 1.0
-	if len(advs) > 0 {
-		scale = 1 / float64(len(advs))
-	}
-	for _, a := range advs {
-		adv := a.adv / stdA
-		// loss = −scale·adv·logπ − scale·β·H  →  seeds on logπ and H.
-		a.step.LogProb.Backward(-adv * scale)
-		if t.Cfg.EntropyWeight > 0 {
-			a.step.Entropy.Backward(-t.Cfg.EntropyWeight * scale)
+	for _, ep := range episodes {
+		if ep.grads != nil {
+			nn.AccumulateGrads(params, ep.grads)
 		}
 	}
 	grad := nn.ClipGradNorm(params, t.Cfg.GradClip)

@@ -111,6 +111,9 @@ func TestParamsChangeAfterIteration(t *testing.T) {
 // where SJF is optimal and random ordering is ~60% worse), REINFORCE must
 // drive the on-policy JCT down towards the optimum.
 func TestTrainingImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("120-iteration training run; skipped in -short mode")
+	}
 	src := func(rng *rand.Rand) []*dag.Job {
 		sizes := []int{2, 4, 8, 16, 32, 64}
 		rng.Shuffle(len(sizes), func(i, j int) { sizes[i], sizes[j] = sizes[j], sizes[i] })

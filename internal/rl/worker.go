@@ -1,0 +1,94 @@
+package rl
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// rolloutTask describes one episode to collect: the arrival sequence to
+// replay, the sampled horizon, and the seed for every random draw the
+// episode makes (action sampling and simulator noise share one stream).
+// All seeds are derived on the trainer's goroutine in a fixed order, so the
+// set of tasks — and therefore every episode — is identical for any worker
+// count.
+type rolloutTask struct {
+	jobs    []*dag.Job
+	horizon float64
+	seed    int64
+}
+
+// worker owns one private agent clone. A worker runs its episodes strictly
+// sequentially; parallelism comes from running workers side by side. Because
+// an episode's recorded computation graph is rooted at the clone's parameter
+// tensors, the same worker that collected an episode must also run its
+// backward pass.
+type worker struct {
+	idx   int
+	agent *core.Agent
+}
+
+// newWorker clones the master agent for worker idx. The clone's parameters
+// are refreshed from the master at the start of every iteration, and its
+// sampling RNG is replaced per episode, so the seed here is irrelevant to
+// training results.
+func newWorker(idx int, master *core.Agent) *worker {
+	return &worker{idx: idx, agent: master.Clone(rand.New(rand.NewSource(int64(idx))))}
+}
+
+// rollout collects one episode on the worker's private agent.
+func (w *worker) rollout(cfg Config, rbar float64, tk rolloutTask, simCfg sim.Config) *episode {
+	ep := runEpisode(w.agent, cfg, rbar, tk, simCfg)
+	ep.worker = w.idx
+	return ep
+}
+
+// runEpisode rolls out one episode on the given agent, which must not be in
+// use by any other goroutine. The agent's hook and RNG are restored before
+// returning. One RNG drives both action sampling and simulator noise, so the
+// episode is a pure function of (parameters, task, config, rbar).
+func runEpisode(agent *core.Agent, cfg Config, rbar float64, tk rolloutTask, simCfg sim.Config) *episode {
+	// worker -1 marks an episode whose graph is not rooted in any pool
+	// clone; engine.backward's ownership guard rejects it. worker.rollout
+	// overwrites the tag for pool-collected episodes.
+	ep := &episode{worker: -1}
+	prevHook, prevRNG := agent.Hook, agent.RNG()
+	defer func() {
+		agent.Hook = prevHook
+		agent.SetRNG(prevRNG)
+	}()
+	rng := rand.New(rand.NewSource(tk.seed))
+	agent.SetRNG(rng)
+	agent.Hook = func(s *core.Step) { ep.steps = append(ep.steps, s) }
+	ep.result = sim.New(simCfg, workload.CloneAll(tk.jobs), agent, rng).RunUntil(tk.horizon)
+	ep.returns = computeReturns(cfg, rbar, ep)
+	return ep
+}
+
+// backward runs the REINFORCE backward pass for one of this worker's
+// episodes and snapshots the resulting per-episode gradient. The gradient
+// lands in the clone's parameter buffers (the episode's graph is rooted
+// there), is copied out, and the buffers are cleared for the worker's next
+// episode. Seeding order matches the serial implementation exactly: per step,
+// log-probability first, then the entropy bonus.
+func (w *worker) backward(ep *episode, stdA, scale, entropyWeight float64) {
+	if len(ep.steps) == 0 {
+		return
+	}
+	params := w.agent.Params()
+	nn.ZeroGrads(params)
+	for k, s := range ep.steps {
+		adv := ep.advs[k] / stdA
+		// loss = −scale·adv·logπ − scale·β·H  →  seeds on logπ and H.
+		s.LogProb.Backward(-adv * scale)
+		if entropyWeight > 0 {
+			s.Entropy.Backward(-entropyWeight * scale)
+		}
+	}
+	ep.grads = nn.CloneGrads(params)
+	nn.ZeroGrads(params)
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// testFIFO is a minimal FIFO scheduler (sched would import-cycle here).
+func testFIFO() Scheduler {
+	return SchedulerFunc(func(s *State) *Action {
+		for _, j := range s.Jobs {
+			for _, st := range j.Stages {
+				if st.Runnable() && s.FreeCount(st) > 0 {
+					return &Action{Stage: st, Limit: s.TotalExecutors, Class: -1}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestSimSelfContainedAcrossGoroutines enforces the parallel rollout
+// engine's core assumption: a Sim instance is fully self-contained, with no
+// package-level or cross-instance state. Many simulations of the same
+// seeded configuration run concurrently and must each reproduce the serial
+// run exactly; `go test -race` additionally proves no memory is shared.
+func TestSimSelfContainedAcrossGoroutines(t *testing.T) {
+	cfg := SparkDefaults(6)
+	jobs := workload.Poisson(rand.New(rand.NewSource(1)), 8, 20)
+
+	run := func(seed int64) *Result {
+		return New(cfg, workload.CloneAll(jobs), testFIFO(), rand.New(rand.NewSource(seed))).Run()
+	}
+
+	const n = 8
+	serial := make([]*Result, n)
+	for i := range serial {
+		serial[i] = run(int64(i))
+	}
+
+	concurrent := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			concurrent[i] = run(int64(i))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range serial {
+		s, c := serial[i], concurrent[i]
+		if s.Unfinished != c.Unfinished || s.Deadlock != c.Deadlock || s.Invocations != c.Invocations {
+			t.Fatalf("run %d: outcome diverged: %+v vs %+v", i, s, c)
+		}
+		if math.Float64bits(s.Makespan) != math.Float64bits(c.Makespan) ||
+			math.Float64bits(s.JobSeconds) != math.Float64bits(c.JobSeconds) {
+			t.Fatalf("run %d: metrics diverged: makespan %v vs %v, job-seconds %v vs %v",
+				i, s.Makespan, c.Makespan, s.JobSeconds, c.JobSeconds)
+		}
+		if len(s.Completed) != len(c.Completed) {
+			t.Fatalf("run %d: completed %d vs %d", i, len(s.Completed), len(c.Completed))
+		}
+		for j := range s.Completed {
+			if s.Completed[j].ID != c.Completed[j].ID ||
+				math.Float64bits(s.Completed[j].Completion) != math.Float64bits(c.Completed[j].Completion) {
+				t.Fatalf("run %d job %d: record diverged", i, j)
+			}
+		}
+	}
+}
