@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet
+.PHONY: all build test race bench bench-json fmt vet
 
 all: build vet fmt test
 
@@ -21,6 +21,17 @@ race:
 # Benchmark smoke run: compile and execute every benchmark once.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Inference-latency benchmark artifact: event-decision latency (fast path,
+# no-cache fast path, pre-PR tracked path) plus the Fig. 9a end-to-end
+# benchmark, emitted as BENCH_inference.json. CI uploads the file so the
+# perf trajectory is tracked commit over commit.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkInferenceDecision' -benchtime=200x ./internal/core/ > bench-core.out
+	$(GO) test -run '^$$' -bench 'BenchmarkFig9a$$' -benchtime=1x . > bench-fig9a.out
+	cat bench-core.out bench-fig9a.out | $(GO) run ./cmd/benchjson > BENCH_inference.json
+	@rm -f bench-core.out bench-fig9a.out
+	@cat BENCH_inference.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can archive benchmark results as a machine-
+// readable artifact (make bench-json → BENCH_inference.json) and the perf
+// trajectory of the inference fast path is tracked across commits.
+//
+//	go test -run '^$' -bench 'BenchmarkInference' ./internal/core/ | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted artifact.
+type Doc struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var doc Doc
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one benchmark result line, e.g.
+//
+//	BenchmarkInferenceDecision-8   300   29120 ns/op   4296 B/op   39 allocs/op
+func parseBench(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Result{}, false
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       trimCPUSuffix(f[0]),
+		Iterations: iters,
+		NsPerOp:    ns,
+	}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	return r, true
+}
+
+// trimCPUSuffix drops go test's -<GOMAXPROCS> suffix from a benchmark name.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

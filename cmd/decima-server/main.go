@@ -37,6 +37,13 @@ func main() {
 		}
 	}
 	agent.Greedy = !*sampled
+	// Serving runs on the inference fast path (nil Hook): every decision
+	// takes the no-grad fused forward. The incremental embedding cache is
+	// disabled because rpcsvc rebuilds the cluster state from the wire on
+	// every request, so the pointer-keyed cache could never hit — NoCache
+	// skips its bookkeeping and keeps results on arena buffers. Decisions
+	// are identical either way (see DESIGN.md).
+	agent.NoCache = true
 
 	srv, err := rpcsvc.ListenAndServe(*addr, agent)
 	if err != nil {

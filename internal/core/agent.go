@@ -95,9 +95,26 @@ type Agent struct {
 	// Greedy switches from sampling (training) to argmax (evaluation).
 	Greedy bool
 	// Hook, when set, receives every decision's Step during simulation.
+	// A nil Hook also selects the inference fast path: nobody consumes the
+	// differentiable log-probability and entropy tensors, so Schedule skips
+	// the autograd graph entirely and serves embeddings from the
+	// incremental per-job cache. Decisions are bit-identical either way.
 	Hook func(*Step)
+	// NoCache disables the incremental embedding cache on the fast path
+	// (every decision re-embeds every job). Evaluation results are
+	// bit-identical with the cache on or off; the switch exists for the
+	// equivalence tests and benchmarks that prove it.
+	NoCache bool
 
 	rng *rand.Rand
+
+	// Fast-path state: the scratch arena backing one decision's tensors and
+	// the per-job embedding cache (see cache.go). Private to the agent, so
+	// concurrent agents (e.g. parallel evaluation workers holding clones)
+	// never share mutable state.
+	scratch   nn.Scratch
+	cache     map[*sim.JobState]*embEntry
+	embedPass uint64
 }
 
 // New builds an agent with freshly initialised networks.
@@ -151,12 +168,22 @@ func (a *Agent) Clone(rng *rand.Rand) *Agent {
 	b := New(a.Cfg, rng)
 	nn.CopyParams(b.Params(), a.Params())
 	b.Greedy = a.Greedy
+	b.NoCache = a.NoCache
 	return b
 }
 
 // SyncFrom copies parameter values from src, which must have the same
 // architecture (typically the agent this one was cloned from).
 func (a *Agent) SyncFrom(src *Agent) { nn.CopyParams(a.Params(), src.Params()) }
+
+// ResetCache drops the embedding cache, releasing its references to the
+// last run's simulator state (jobs, DAGs, cached embeddings). Callers that
+// keep an agent alive after a rollout finishes (e.g. rl.Evaluate, a trainer
+// that evaluates between iterations) call this so a finished run's memory
+// does not linger until the next fast-path decision. Correctness never
+// depends on it: entries are keyed by *sim.JobState pointer, so a new run
+// can never hit a stale entry.
+func (a *Agent) ResetCache() { a.cache = nil }
 
 // RNG returns the RNG the agent samples actions from.
 func (a *Agent) RNG() *rand.Rand { return a.rng }
@@ -172,16 +199,26 @@ func (a *Agent) Save(path string) error { return nn.SaveParamsFile(path, a.Param
 // Load reads parameters written by Save.
 func (a *Agent) Load(path string) error { return nn.LoadParamsFile(path, a.Params()) }
 
-// Features builds the §6.1 feature matrix for one job in the given state.
-func (a *Agent) Features(s *sim.State, j *sim.JobState) *nn.Tensor {
-	freeTotal := len(s.FreeExecutors)
-	local := 0.0
+// featureKeyInputs returns the only two cluster-wide (non-job-local) inputs
+// of a job's feature matrix: the free-executor count and the locality flag.
+// Everything else Features reads is job-local state covered by
+// sim.JobState.Version, so (Version, freeTotal, local) is a complete cache
+// key for per-job embeddings. Features and the embedding cache share this
+// single definition so the key cannot silently diverge from the features.
+func featureKeyInputs(s *sim.State, j *sim.JobState) (freeTotal int, local float64) {
+	freeTotal = len(s.FreeExecutors)
 	for _, e := range s.FreeExecutors {
 		if e.LocalTo(j) {
 			local = 1
 			break
 		}
 	}
+	return freeTotal, local
+}
+
+// Features builds the §6.1 feature matrix for one job in the given state.
+func (a *Agent) Features(s *sim.State, j *sim.JobState) *nn.Tensor {
+	freeTotal, local := featureKeyInputs(s, j)
 	d := a.Cfg.FeatDim()
 	f := nn.Zeros(len(j.Stages), d)
 	for i, st := range j.Stages {
@@ -261,7 +298,6 @@ func (a *Agent) Schedule(s *sim.State) *sim.Action {
 	if len(cands) == 0 {
 		return nil
 	}
-	emb := a.embed(s)
 	req := policy.Request{
 		Cands:     cands,
 		MinLimits: minLimits,
@@ -271,8 +307,15 @@ func (a *Agent) Schedule(s *sim.State) *sim.Action {
 	if classOKs != nil {
 		req.ClassOKPer = classOKs
 	}
-	dec := a.Pol.Decide(emb, req, a.rng)
-	if a.Hook != nil {
+	var dec policy.Decision
+	if a.Hook == nil {
+		// Inference fast path: no gradient will ever be taken from this
+		// decision, so skip the autograd graph, fuse the MLP forwards, and
+		// reuse cached per-job embeddings. Bit-identical to the tracked
+		// path below (same scores, same RNG consumption, same action).
+		dec = a.Pol.DecideInference(a.embedInference(s), req, a.rng, &a.scratch)
+	} else {
+		dec = a.Pol.Decide(a.embed(s), req, a.rng)
 		a.Hook(&Step{
 			LogProb:    dec.LogProb,
 			Entropy:    dec.Entropy,

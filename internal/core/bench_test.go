@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchState assembles a representative mid-run cluster snapshot: numJobs
+// TPC-H jobs with their root stages runnable and half the cluster's
+// executors free. Benchmarks call Schedule on it directly, measuring one
+// event decision without simulator overhead.
+func benchState(numJobs, execs int) *sim.State {
+	rng := rand.New(rand.NewSource(1))
+	st := &sim.State{Time: 100, TotalExecutors: execs, MoveDelay: 2.5}
+	for _, j := range workload.Batch(rng, numJobs) {
+		js := &sim.JobState{Job: j, Limit: 2, Executors: 1, ExecutorSeconds: map[int]float64{}}
+		for _, stg := range j.Stages {
+			js.Stages = append(js.Stages, &sim.StageState{Stage: stg, Job: js})
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	for i := 0; i < execs/2; i++ {
+		st.FreeExecutors = append(st.FreeExecutors, &sim.Executor{ID: i, Mem: 1})
+	}
+	return st
+}
+
+// benchDecision measures one eval-mode scheduling decision.
+func benchDecision(b *testing.B, mkAgent func() *Agent) {
+	b.Helper()
+	st := benchState(10, 20)
+	a := mkAgent()
+	a.Greedy = true
+	if a.Schedule(st) == nil {
+		b.Fatal("benchmark state yields no action")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Schedule(st)
+	}
+}
+
+// BenchmarkInferenceDecision is the PR's headline number: one scheduling
+// decision on the inference fast path (no-grad fused forward + warm
+// incremental embedding cache), the configuration evaluation rollouts and
+// the serving path run in.
+func BenchmarkInferenceDecision(b *testing.B) {
+	benchDecision(b, func() *Agent {
+		return New(DefaultConfig(20), rand.New(rand.NewSource(3)))
+	})
+}
+
+// BenchmarkInferenceDecisionNoCache isolates the no-grad/fusion win from
+// the caching win: fast path, but every decision re-embeds every job.
+func BenchmarkInferenceDecisionNoCache(b *testing.B) {
+	benchDecision(b, func() *Agent {
+		a := New(DefaultConfig(20), rand.New(rand.NewSource(3)))
+		a.NoCache = true
+		return a
+	})
+}
+
+// BenchmarkInferenceDecisionTracked is the pre-PR baseline: the
+// autograd-tracked path every decision used to take (a no-op Hook forces
+// it), kept for the ≥2× acceptance comparison.
+func BenchmarkInferenceDecisionTracked(b *testing.B) {
+	benchDecision(b, func() *Agent {
+		a := New(DefaultConfig(20), rand.New(rand.NewSource(3)))
+		a.Hook = func(*Step) {}
+		return a
+	})
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/gnn"
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+// The inference fast path's incremental embedding cache.
+//
+// Decima's GNN passes are job-local up to the final global aggregation:
+// Eq. (1) propagates messages only along a job's own DAG, and the per-job
+// summary reads only that job's features and node embeddings. A job's
+// feature matrix (§6.1) in turn depends only on the job's runtime state
+// (captured by sim.JobState.Version), the cluster-wide free-executor count,
+// and the job's locality flag. So per-job results cached under the key
+// (Version, freeTotal, local) can be reused *exactly* — not approximately —
+// and only jobs an event actually touched are re-embedded. The global
+// summary is recombined from the cached per-job rows on every decision,
+// in job order, so its floating-point summation order matches a full
+// forward bit for bit.
+//
+// Entries are keyed by *sim.JobState pointer: pointer identity scopes the
+// cache to one simulation run (every run builds fresh JobStates), so agents
+// reused across evaluation runs never see stale hits. Entries for jobs that
+// left the system are swept whenever the cache outgrows the live job set.
+
+// embEntry is one job's cached embedding state.
+type embEntry struct {
+	version   uint64  // sim.JobState.Version the entry was computed at
+	freeTotal int     // cluster-wide free-executor count observed
+	local     float64 // locality feature observed (0 or 1)
+	nodes     *nn.Tensor
+	jobRow    []float64
+	pass      uint64 // last embed pass that referenced the entry
+}
+
+// embedInference produces embeddings on the no-grad fast path, re-embedding
+// only jobs whose cache key changed. Results (beyond the cache-owned node
+// embeddings) live in the agent's scratch arena, which this call resets —
+// one decision's tensors are valid until the next fast-path decision.
+func (a *Agent) embedInference(s *sim.State) *gnn.Embeddings {
+	a.scratch.Reset()
+	if a.GNN == nil {
+		// Ablation: raw features feed the score functions directly; there is
+		// no graph to build or skip, so the tracked path is already minimal.
+		return a.embed(s)
+	}
+	d := a.Cfg.EmbedDim
+	if len(s.Jobs) == 0 {
+		return &gnn.Embeddings{Jobs: nn.Zeros(0, d), Global: nn.Zeros(1, d)}
+	}
+	if a.cache == nil {
+		a.cache = make(map[*sim.JobState]*embEntry)
+	}
+	a.embedPass++
+	emb := &gnn.Embeddings{Nodes: make([]*nn.Tensor, len(s.Jobs))}
+	jobs := a.scratch.AllocTensor(len(s.Jobs), d)
+	for i, j := range s.Jobs {
+		freeTotal, local := featureKeyInputs(s, j)
+		ent := a.cache[j]
+		if ent == nil || ent.version != j.Version ||
+			ent.freeTotal != freeTotal || ent.local != local || a.NoCache {
+			gr := gnn.NewGraph(j.Job, a.Features(s, j))
+			nodes := a.GNN.EmbedNodesInference(gr, &a.scratch)
+			row := a.GNN.JobSummaryInference(gr, nodes, &a.scratch)
+			if a.NoCache {
+				// Nothing outlives the decision, so the arena-backed tensors
+				// are used directly — no heap copies.
+				emb.Nodes[i] = nodes
+				copy(jobs.Data[i*d:(i+1)*d], row.Data)
+				continue
+			}
+			// Clone the results out of the arena: cached tensors must survive
+			// across decisions (and arena resets).
+			ent = &embEntry{
+				version:   j.Version,
+				freeTotal: freeTotal,
+				local:     local,
+				nodes:     nodes.Clone(),
+				jobRow:    append([]float64(nil), row.Data...),
+			}
+			a.cache[j] = ent
+		}
+		ent.pass = a.embedPass
+		emb.Nodes[i] = ent.nodes
+		copy(jobs.Data[i*d:(i+1)*d], ent.jobRow)
+	}
+	// Sweep entries for jobs that left the system (or runs that ended).
+	if len(a.cache) > len(s.Jobs) {
+		for k, v := range a.cache {
+			if v.pass != a.embedPass {
+				delete(a.cache, k)
+			}
+		}
+	}
+	emb.Jobs = jobs
+	emb.Global = a.GNN.GlobalInference(jobs, &a.scratch)
+	return emb
+}

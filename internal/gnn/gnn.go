@@ -191,8 +191,9 @@ func (g *GNN) Forward(graphs []*Graph) *Embeddings {
 
 // EmbedNodesNaive computes the same per-node embeddings as EmbedNodes but
 // node by node, without level batching. It exists as a correctness
-// cross-check and as the baseline for the level-batching ablation
-// benchmark (DESIGN.md).
+// cross-check and as the baseline for the level-batching ablation benchmark
+// (see DESIGN.md at the repository root, which covers level batching and
+// the inference fast path).
 func (g *GNN) EmbedNodesNaive(gr *Graph) *nn.Tensor {
 	x := g.Prep.Forward(gr.Feats)
 	n := x.Rows

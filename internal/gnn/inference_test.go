@@ -1,0 +1,58 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/nn"
+)
+
+// TestForwardInferenceBitIdentical checks the scratch-arena fast path
+// against the tracked forward on randomized DAG batches: node, job and
+// global embeddings must be bit-identical (==, not within-epsilon) — the
+// contract the core embedding cache depends on.
+func TestForwardInferenceBitIdentical(t *testing.T) {
+	var s nn.Scratch
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		cfg := Config{FeatDim: 3, EmbedDim: 4, Hidden: []int{8, 4}, SingleLevel: trial%4 == 3}
+		g := New(cfg, rng)
+		var graphs []*Graph
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			j := dag.Random(rng, 1+rng.Intn(12), 0.4)
+			graphs = append(graphs, NewGraph(j, featsFor(j)))
+		}
+		tracked := g.Forward(graphs)
+		s.Reset()
+		fast := g.ForwardInference(graphs, &s)
+		for gi := range graphs {
+			a, b := tracked.Nodes[gi], fast.Nodes[gi]
+			for i := range a.Data {
+				if a.Data[i] != b.Data[i] {
+					t.Fatalf("trial %d graph %d node emb differs at %d: %v vs %v", trial, gi, i, a.Data[i], b.Data[i])
+				}
+			}
+		}
+		for i := range tracked.Jobs.Data {
+			if tracked.Jobs.Data[i] != fast.Jobs.Data[i] {
+				t.Fatalf("trial %d job summary differs at %d", trial, i)
+			}
+		}
+		for i := range tracked.Global.Data {
+			if tracked.Global.Data[i] != fast.Global.Data[i] {
+				t.Fatalf("trial %d global summary differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestForwardInferenceEmpty mirrors TestEmptyInput on the fast path.
+func TestForwardInferenceEmpty(t *testing.T) {
+	g := testGNN(rand.New(rand.NewSource(1)))
+	var s nn.Scratch
+	emb := g.ForwardInference(nil, &s)
+	if emb.Jobs.Rows != 0 || emb.Global.Rows != 1 || emb.Global.Cols != 4 {
+		t.Fatal("empty input mishandled on fast path")
+	}
+}

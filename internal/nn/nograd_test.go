@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sameData asserts two tensors carry bit-identical values.
+func sameData(t *testing.T, name string, a, b *Tensor) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s: shape %d×%d vs %d×%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestInferenceOpsBitIdentical checks that every op computes bit-identical
+// values with and without the no-grad mode, and that inference-mode results
+// are fully detached (no grads, no graph).
+func TestInferenceOpsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 5, 7)
+	a.MarkParam() // make the tracked path actually build a graph
+	b := randTensor(rng, 7, 4)
+	b.MarkParam()
+	c := randTensor(rng, 5, 7)
+	row := randTensor(rng, 1, 7)
+	seg := []int{0, 1, 0, 2, 1}
+	idx := []int{3, 0, 2}
+
+	cases := map[string]func() *Tensor{
+		"MatMul":     func() *Tensor { return MatMul(a, b) },
+		"Add":        func() *Tensor { return Add(a, c) },
+		"AddRow":     func() *Tensor { return AddRow(a, row) },
+		"Sub":        func() *Tensor { return Sub(a, c) },
+		"Mul":        func() *Tensor { return Mul(a, c) },
+		"Scale":      func() *Tensor { return Scale(a, 1.7) },
+		"LeakyReLU":  func() *Tensor { return LeakyReLU(a, 0.2) },
+		"Tanh":       func() *Tensor { return Tanh(a) },
+		"Sigmoid":    func() *Tensor { return Sigmoid(a) },
+		"Sum":        func() *Tensor { return Sum(a) },
+		"Mean":       func() *Tensor { return Mean(a) },
+		"SumRows":    func() *Tensor { return SumRows(a) },
+		"ConcatCols": func() *Tensor { return ConcatCols(a, c) },
+		"ConcatRows": func() *Tensor { return ConcatRows(a, c) },
+		"GatherRows": func() *Tensor { return GatherRows(a, idx) },
+		"SegmentSum": func() *Tensor { return SegmentSum(a, seg, 3) },
+		"Pick":       func() *Tensor { return Pick(a, 4) },
+		"LogSoftmax": func() *Tensor { return LogSoftmax(a) },
+		"Softmax":    func() *Tensor { return Softmax(a) },
+		"ScatterRows": func() *Tensor {
+			return ScatterRows(a, []int{1, 3}, randTensorSeeded(9, 2, 7))
+		},
+	}
+	for name, op := range cases {
+		tracked := op()
+		var inferred *Tensor
+		Inference(func() { inferred = op() })
+		sameData(t, name, tracked, inferred)
+		if inferred.RequiresGrad() || inferred.parents != nil || inferred.backFn != nil {
+			t.Fatalf("%s: inference result not detached", name)
+		}
+		if !tracked.RequiresGrad() {
+			t.Fatalf("%s: tracked result lost requiresGrad", name)
+		}
+	}
+}
+
+// randTensorSeeded builds a deterministic tensor independent of the shared
+// rng stream, so tracked and inference invocations of a case see the same
+// values.
+func randTensorSeeded(seed int64, r, c int) *Tensor {
+	return randTensor(rand.New(rand.NewSource(seed)), r, c)
+}
+
+// TestWithNoGrad checks the per-call variant and nesting.
+func TestWithNoGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randTensor(rng, 3, 3)
+	a.MarkParam()
+	out := WithNoGrad(func() *Tensor {
+		if !InInference() {
+			t.Fatal("InInference false inside WithNoGrad")
+		}
+		return WithNoGrad(func() *Tensor { return Tanh(a) }) // nested
+	})
+	if out.RequiresGrad() {
+		t.Fatal("WithNoGrad result requires grad")
+	}
+	if InInference() {
+		t.Fatal("inference mode leaked past WithNoGrad")
+	}
+	// Backward on a detached scalar must be a no-op, not a panic.
+	s := WithNoGrad(func() *Tensor { return Sum(a) })
+	s.Backward(1)
+	if a.Grad != nil {
+		t.Fatal("Backward through a no-grad graph produced gradients")
+	}
+}
+
+// TestMLPForwardInferenceBitIdentical checks the fused no-grad MLP forward
+// against the tracked op-by-op forward for every activation.
+func TestMLPForwardInferenceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s Scratch
+	for _, act := range []Activation{ActLeakyReLU, ActTanh, ActSigmoid, ActIdentity} {
+		m := NewMLP([]int{13, 32, 16, 4}, act, rng)
+		for trial := 0; trial < 5; trial++ {
+			x := randTensor(rng, 1+rng.Intn(40), 13)
+			tracked := m.Forward(x)
+			s.Reset()
+			fused := m.ForwardInference(x, &s)
+			sameData(t, "mlp", tracked, fused)
+			if fused.RequiresGrad() {
+				t.Fatal("fused forward requires grad")
+			}
+		}
+	}
+}
+
+// TestScratchArena checks zeroing, reuse and growth of the arena.
+func TestScratchArena(t *testing.T) {
+	var s Scratch
+	a := s.Alloc(10)
+	for i := range a {
+		a[i] = float64(i + 1)
+	}
+	b := s.Alloc(100000) // force a slab beyond the first
+	if len(b) != 100000 {
+		t.Fatalf("alloc length %d", len(b))
+	}
+	for i := range b {
+		b[i] = 7
+	}
+	s.Reset()
+	c := s.Alloc(10)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	// The recycled buffer aliases the first allocation's memory.
+	if &c[0] != &a[0] {
+		t.Fatal("Reset did not recycle the arena")
+	}
+	// Appending to an Alloc'd slice must not clobber the next allocation.
+	d := s.Alloc(4)
+	e := s.Alloc(4)
+	d = append(d, 1)
+	if e[0] != 0 || math.IsNaN(e[0]) {
+		t.Fatal("append to arena slice overflowed into the next buffer")
+	}
+}
+
+// TestLogSoftmaxInto checks the no-grad kernel against the tracked op.
+func TestLogSoftmaxInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randTensor(rng, 1, 9)
+	tracked := LogSoftmax(x)
+	out := make([]float64, 9)
+	LogSoftmaxInto(out, x.Data)
+	for i := range out {
+		if out[i] != tracked.Data[i] {
+			t.Fatalf("element %d: %v vs %v", i, out[i], tracked.Data[i])
+		}
+	}
+}

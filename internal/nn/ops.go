@@ -16,10 +16,12 @@ func MatMul(a, b *Tensor) *Tensor {
 		ar := a.Data[i*k : (i+1)*k]
 		or := data[i*m : (i+1)*m]
 		for p := 0; p < k; p++ {
+			// No zero-skip here: the inner loop is branchless so the kernel
+			// stays in arithmetic lockstep with the fused inference forward
+			// (Linear.ForwardInference), and a data-dependent branch on
+			// dense activations is misprediction bait. BenchmarkMatMul
+			// (Dense and Mixed variants) tracks the trade-off.
 			av := ar[p]
-			if av == 0 {
-				continue
-			}
 			br := b.Data[p*m : (p+1)*m]
 			for j := 0; j < m; j++ {
 				or[j] += av * br[j]

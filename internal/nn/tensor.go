@@ -124,9 +124,14 @@ func (t *Tensor) ZeroGrad() {
 }
 
 // newResult builds an op-result tensor wired to its parents. The backward
-// closure is only retained if some parent requires gradients.
+// closure is only retained if some parent requires gradients. In inference
+// mode (nn.Inference) the result is a plain value tensor: no parents, no
+// backward closure, no requiresGrad propagation.
 func newResult(rows, cols int, data []float64, back func(), parents ...*Tensor) *Tensor {
 	t := New(rows, cols, data)
+	if InInference() {
+		return t
+	}
 	for _, p := range parents {
 		if p.requiresGrad {
 			t.requiresGrad = true

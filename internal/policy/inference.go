@@ -1,0 +1,146 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/gnn"
+	"repro/internal/nn"
+)
+
+// DecideInference is Decide's inference fast path: it runs the same score
+// functions over the same inputs — producing bit-identical probabilities,
+// consuming the RNG identically, and therefore selecting the identical
+// action — but skips the autograd graph entirely: no log-probability or
+// entropy tensors are built (Decision.LogProb and Decision.Entropy are nil),
+// every MLP forward is fused, and intermediates live in the caller's scratch
+// arena. Use it whenever no gradient will be taken (evaluation rollouts,
+// serving); the REINFORCE trainer keeps using Decide.
+func (p *Policy) DecideInference(emb *gnn.Embeddings, req Request, rng *rand.Rand, s *nn.Scratch) Decision {
+	if len(req.Cands) == 0 {
+		panic("policy: no candidates")
+	}
+	n := len(req.Cands)
+
+	// Node selection: rows [e_v, y_i, z] for each candidate, scored by Q.
+	qIn := p.Q.InDim()
+	dz := emb.Global.Cols
+	mat := s.AllocTensor(n, qIn)
+	for i, c := range req.Cands {
+		row := mat.Data[i*qIn : (i+1)*qIn]
+		nodes := emb.Nodes[c.JobIdx]
+		de := nodes.Cols
+		dy := emb.Jobs.Cols
+		copy(row[:de], nodes.Data[c.NodeIdx*de:(c.NodeIdx+1)*de])
+		copy(row[de:de+dy], emb.Jobs.Data[c.JobIdx*dy:(c.JobIdx+1)*dy])
+		copy(row[de+dy:de+dy+dz], emb.Global.Data)
+	}
+	scores := p.Q.ForwardInference(mat, s) // n×1
+	lp := s.Alloc(n)
+	nn.LogSoftmaxInto(lp, scores.Data)
+	probs := make([]float64, n) // escapes via Decision.NodeProbs
+	for i := range probs {
+		probs[i] = math.Exp(lp[i])
+	}
+	choice := sample(probs, rng, req.Greedy)
+
+	// Parallelism limit for the chosen candidate's job.
+	chosen := req.Cands[choice]
+	minL := req.MinLimit
+	if req.MinLimits != nil {
+		minL = req.MinLimits[choice]
+	}
+	if minL < 1 {
+		minL = 1
+	}
+	if minL > p.Cfg.NumLimits {
+		minL = p.Cfg.NumLimits
+	}
+	nL := p.Cfg.NumLimits - minL + 1
+	llp := s.Alloc(nL)
+	if p.Cfg.NoLimitInput {
+		all := p.W.ForwardInference(p.limitContextInference(emb, chosen, s), s) // 1×NumLimits
+		nn.LogSoftmaxInto(llp, all.Data[minL-1:p.Cfg.NumLimits])
+	} else {
+		ctx := p.limitContextInference(emb, chosen, s)
+		wIn := p.W.InDim()
+		rows := s.AllocTensor(nL, wIn)
+		for i := 0; i < nL; i++ {
+			copy(rows.Data[i*wIn:(i+1)*wIn], ctx.Data)
+			rows.Data[i*wIn+wIn-1] = float64(minL+i) / float64(p.Cfg.NumLimits)
+		}
+		out := p.W.ForwardInference(rows, s) // nL×1
+		nn.LogSoftmaxInto(llp, out.Data)
+	}
+	lprobs := s.Alloc(nL)
+	for i := range lprobs {
+		lprobs[i] = math.Exp(llp[i])
+	}
+	li := sample(lprobs, rng, req.Greedy)
+	limit := minL + li
+
+	// Executor class (multi-resource).
+	class := -1
+	classOK := req.ClassOK
+	if req.ClassOKPer != nil {
+		classOK = req.ClassOKPer[choice]
+	}
+	if p.C != nil && len(classOK) > 0 {
+		var ids []int
+		for ci, ok := range classOK {
+			if ok {
+				ids = append(ids, ci)
+			}
+		}
+		if len(ids) > 0 {
+			cIn := p.C.InDim()
+			dy := emb.Jobs.Cols
+			rows := s.AllocTensor(len(ids), cIn)
+			for i, ci := range ids {
+				row := rows.Data[i*cIn : (i+1)*cIn]
+				copy(row[:dy], emb.Jobs.Data[chosen.JobIdx*dy:(chosen.JobIdx+1)*dy])
+				copy(row[dy:dy+dz], emb.Global.Data)
+				row[cIn-1] = req.ClassMem[ci]
+			}
+			out := p.C.ForwardInference(rows, s) // len(ids)×1
+			clp := s.Alloc(len(ids))
+			nn.LogSoftmaxInto(clp, out.Data)
+			cp := s.Alloc(len(ids))
+			for i := range cp {
+				cp[i] = math.Exp(clp[i])
+			}
+			class = ids[sample(cp, rng, req.Greedy)]
+		}
+	}
+
+	return Decision{
+		Choice:    choice,
+		Limit:     limit,
+		Class:     class,
+		NodeProbs: probs,
+	}
+}
+
+// limitContextInference builds the W input prefix for the chosen candidate
+// in the scratch arena: [y, z] normally, [e_v, y, z] with stage-level
+// limits. One column of slack is reserved for the limit input when the
+// limit-as-input design is active.
+func (p *Policy) limitContextInference(emb *gnn.Embeddings, c Candidate, s *nn.Scratch) *nn.Tensor {
+	dy := emb.Jobs.Cols
+	dz := emb.Global.Cols
+	width := dy + dz
+	var eRow []float64
+	if p.Cfg.StageLevelLimits {
+		nodes := emb.Nodes[c.JobIdx]
+		eRow = nodes.Data[c.NodeIdx*nodes.Cols : (c.NodeIdx+1)*nodes.Cols]
+		width += nodes.Cols
+	}
+	ctx := s.AllocTensor(1, width)
+	off := 0
+	if eRow != nil {
+		off += copy(ctx.Data, eRow)
+	}
+	off += copy(ctx.Data[off:], emb.Jobs.Data[c.JobIdx*dy:(c.JobIdx+1)*dy])
+	copy(ctx.Data[off:], emb.Global.Data)
+	return ctx
+}

@@ -398,18 +398,32 @@ func (t *Trainer) Train(iters int, src JobSource, simCfg sim.Config, onIter func
 // Evaluate runs the agent greedily over the given sequences to completion
 // and returns the mean average-JCT across sequences (and the mean
 // makespan).
+//
+// Evaluation runs on the inference fast path: clearing the Hook makes the
+// agent skip the autograd graph and serve embeddings from its incremental
+// per-job cache, and the rollout is additionally wrapped in nn.Inference so
+// any remaining tensor op skips backward-closure construction. Decisions
+// are bit-identical to the tracked path, just cheaper; training (Iteration)
+// keeps the tracked path untouched.
 func Evaluate(agent *core.Agent, seqs [][]*dag.Job, simCfg sim.Config, seed int64) (avgJCT, makespan float64) {
 	prevGreedy, prevHook := agent.Greedy, agent.Hook
 	agent.Greedy = true
 	agent.Hook = nil
-	defer func() { agent.Greedy, agent.Hook = prevGreedy, prevHook }()
+	defer func() {
+		agent.Greedy, agent.Hook = prevGreedy, prevHook
+		// Drop references to the finished runs' jobs and embeddings rather
+		// than holding them until the agent's next fast-path decision.
+		agent.ResetCache()
+	}()
 	var jctSum, msSum float64
-	for i, jobs := range seqs {
-		rng := rand.New(rand.NewSource(seed + int64(i)))
-		res := sim.New(simCfg, workload.CloneAll(jobs), agent, rng).Run()
-		jctSum += res.AvgJCT()
-		msSum += res.Makespan
-	}
+	nn.Inference(func() {
+		for i, jobs := range seqs {
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			res := sim.New(simCfg, workload.CloneAll(jobs), agent, rng).Run()
+			jctSum += res.AvgJCT()
+			msSum += res.Makespan
+		}
+	})
 	n := float64(len(seqs))
 	return jctSum / n, msSum / n
 }

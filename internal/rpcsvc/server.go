@@ -23,6 +23,15 @@ func NewDecima(sched sim.Scheduler) *Decima { return &Decima{sched: sched} }
 // the wire form, delegates to the wrapped scheduler, and encodes the
 // decision. The mutex serialises decisions because the underlying agent is
 // stateful (sampling RNG) and not concurrency-safe.
+//
+// A served agent takes the inference fast path on its own (its Hook is
+// nil), so requests run the no-grad fused forward without any wrapping
+// here. Deliberately no nn.Inference scope: Decima wraps an *arbitrary*
+// scheduler, and force-detaching gradients would silently break a future
+// caller that serves a tracked agent (e.g. logging differentiable Steps
+// for imitation training). The agent's embedding cache cannot help in
+// serving — the state is rebuilt from the wire each request — so
+// cmd/decima-server disables it.
 func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -232,6 +232,7 @@ func (s *Sim) handle(e *event) bool {
 	case evTaskDone:
 		st := e.stage
 		job := st.Job
+		job.touch()
 		st.TasksDone++
 		st.Running--
 		job.WorkExecuted += e.dur
@@ -259,6 +260,7 @@ func (s *Sim) handle(e *event) bool {
 		return true
 
 	case evExecArrive:
+		e.stage.Job.touch()
 		st := e.stage
 		job := st.Job
 		if !job.Done && st.TasksLaunched < st.Stage.NumTasks && !st.Completed {
@@ -283,6 +285,7 @@ func (s *Sim) handle(e *event) bool {
 
 // completeJob finalises a job and removes it from the active set.
 func (s *Sim) completeJob(job *JobState) {
+	job.touch()
 	job.Done = true
 	job.Completion = s.now
 	for i, a := range s.active {
@@ -310,6 +313,7 @@ func (s *Sim) completeJob(job *JobState) {
 // launchTask starts one task of st on executor e at the current time.
 func (s *Sim) launchTask(e *Executor, st *StageState) {
 	job := st.Job
+	job.touch()
 	st.TasksLaunched++
 	st.Running++
 	dur := st.Stage.TaskDuration
@@ -363,6 +367,7 @@ func (s *Sim) apply(act *Action, state *State) int {
 	if job.Done || st.Completed {
 		return 0
 	}
+	job.touch()
 	if act.Limit > 0 {
 		job.Limit = act.Limit
 	} else if job.Limit == 0 {

@@ -76,7 +76,20 @@ type JobState struct {
 	// ExecutorSeconds accumulates executor occupancy (task time plus move
 	// time), per executor class.
 	ExecutorSeconds map[int]float64
+	// Version increases monotonically on every mutation of the job's
+	// runtime state (task launch/completion, stage completion, executor
+	// binding, limit change). Two observations of the same JobState with
+	// equal Version are guaranteed to expose identical job-local state, so
+	// agents can cache per-job derived values (features, GNN embeddings)
+	// keyed by Version and recompute only what an event actually touched.
+	Version uint64
 }
+
+// touch records a mutation of the job's runtime state. The simulator calls
+// it from every code path that changes a JobState or one of its stages;
+// over-counting is harmless (a spurious bump only forces a cache refresh),
+// missing a mutation is not.
+func (j *JobState) touch() { j.Version++ }
 
 // RunnableStages returns the job's currently runnable stages.
 func (j *JobState) RunnableStages() []*StageState {
