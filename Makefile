@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet
+.PHONY: all build test race bench bench-json smoke-server fmt vet
 
 all: build vet fmt test
 
@@ -22,16 +22,30 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Inference-latency benchmark artifact: event-decision latency (fast path,
-# no-cache fast path, pre-PR tracked path) plus the Fig. 9a end-to-end
-# benchmark, emitted as BENCH_inference.json. CI uploads the file so the
-# perf trajectory is tracked commit over commit.
+# Benchmark artifacts, uploaded by CI so the perf trajectory is tracked
+# commit over commit.
+#
+# BENCH_inference.json: event-decision latency (fast path, no-cache fast
+# path, pre-PR tracked path) plus the Fig. 9a end-to-end benchmark.
+# BENCH_serving.json: per-event serving latency over the wire — stateless
+# v1 protocol (state rebuilt per request, cache can't hit) vs the v2
+# session protocol (server-side mirror, embedding cache on); the "ns/event"
+# extra metric is the comparison that matters.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferenceDecision' -benchtime=200x ./internal/core/ > bench-core.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig9a$$' -benchtime=1x . > bench-fig9a.out
 	cat bench-core.out bench-fig9a.out | $(GO) run ./cmd/benchjson > BENCH_inference.json
-	@rm -f bench-core.out bench-fig9a.out
-	@cat BENCH_inference.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime=5x ./internal/rpcsvc/ > bench-serving.out
+	cat bench-serving.out | $(GO) run ./cmd/benchjson > BENCH_serving.json
+	@rm -f bench-core.out bench-fig9a.out bench-serving.out
+	@cat BENCH_inference.json BENCH_serving.json
+
+# End-to-end smoke of the serving binary: build decima-server, start it as
+# a real process, open a session over TCP, drive ≥100 scheduling events,
+# and assert a clean SIGINT shutdown.
+smoke-server:
+	$(GO) build -o bin/decima-server ./cmd/decima-server
+	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -events 100
 
 fmt:
 	@out="$$(gofmt -l .)"; \

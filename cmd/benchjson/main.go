@@ -22,6 +22,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric values by unit (e.g. "ns/event",
+	// the per-scheduling-event serving latency of BenchmarkServe*).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Doc is the emitted artifact.
@@ -86,17 +89,25 @@ func parseBench(line string) (Result, bool) {
 		NsPerOp:    ns,
 	}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
-		if err != nil {
-			continue
-		}
 		switch f[i+1] {
 		case "B/op":
-			b := v
-			r.BytesPerOp = &b
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				b := v
+				r.BytesPerOp = &b
+			}
 		case "allocs/op":
-			a := v
-			r.AllocsPerOp = &a
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				a := v
+				r.AllocsPerOp = &a
+			}
+		default:
+			// Custom b.ReportMetric pairs, e.g. "75545 ns/event".
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[f[i+1]] = v
+			}
 		}
 	}
 	return r, true

@@ -1,10 +1,17 @@
 // Command decima-bench regenerates the paper's tables and figures.
 //
+// Comparison figures run the policies named by -scheduler (comma-separated
+// internal/scheduler registry names, "decima" included); the default is
+// each figure's paper set. Selecting only heuristics skips Decima training
+// entirely, making any figure a seconds-fast heuristic head-to-head.
+//
 // Examples:
 //
 //	decima-bench -exp fig9a -scale small
+//	decima-bench -exp fig9a -scheduler fifo,fair,decima
 //	decima-bench -exp all -scale tiny
 //	decima-bench -list
+//	decima-bench -list-schedulers
 package main
 
 import (
@@ -14,20 +21,27 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/scheduler"
 )
 
 func main() {
 	var (
-		id      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale   = flag.String("scale", "tiny", "scale: tiny | small | paper")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "rollout workers for training runs (0 = one per CPU)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		id         = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale      = flag.String("scale", "tiny", "scale: tiny | small | paper")
+		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "rollout workers for training runs (0 = one per CPU)")
+		scheds     = flag.String("scheduler", "", "comma-separated registry schedulers for comparison figures (empty = each figure's default set)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		listScheds = flag.Bool("list-schedulers", false, "list registered scheduler names and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(exp.IDs(), "\n"))
+		return
+	}
+	if *listScheds {
+		fmt.Println(strings.Join(scheduler.Names(), "\n"))
 		return
 	}
 	var sc exp.Scale
@@ -43,6 +57,22 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Workers = *workers
+	if *scheds != "" {
+		for _, name := range strings.Split(*scheds, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			// Validate up front so a typo fails fast instead of panicking
+			// mid-figure ("decima" is built by the harness, not the registry).
+			if name != "decima" {
+				if _, err := scheduler.New(name, scheduler.Options{Executors: sc.Executors}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			sc.Schedulers = append(sc.Schedulers, name)
+		}
+	}
 
 	ids := []string{*id}
 	if *id == "all" {

@@ -1,11 +1,18 @@
-// Command decima-server runs Decima as a standalone scheduling service
-// over TCP (the §6 integration surface). A cluster — or the driver in
-// examples/rpc — connects and sends a ScheduleRequest per scheduling
-// event; the service replies with ⟨stage, parallelism limit(, class)⟩.
+// Command decima-server runs a scheduling service over TCP (the §6
+// integration surface). A cluster — or the driver in examples/rpc —
+// either opens a stateful session (Open/Event/Close, the v2 protocol:
+// incremental event deltas, server-side state, embedding cache warm across
+// events) or sends one-shot full-snapshot ScheduleRequests (the v1
+// compatibility path); the service replies with
+// ⟨stage, parallelism limit(, class)⟩ per scheduling event.
+//
+// Any policy from the scheduler registry can be served; sessions may also
+// select a policy per OpenSession call.
 //
 // Example:
 //
 //	decima-server -addr 127.0.0.1:7764 -executors 25 -model model.gob
+//	decima-server -scheduler fifo
 package main
 
 import (
@@ -15,41 +22,62 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/rpcsvc"
+	"repro/internal/scheduler"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7764", "listen address")
-		executors = flag.Int("executors", 25, "executor count the model was built for")
-		model     = flag.String("model", "", "optional trained model to load")
-		sampled   = flag.Bool("sampled", false, "sample actions instead of greedy argmax")
-		seed      = flag.Int64("seed", 1, "random seed")
+		addr        = flag.String("addr", "127.0.0.1:7764", "listen address")
+		schedName   = flag.String("scheduler", "decima", "default policy served to sessions that do not name one ("+strings.Join(scheduler.Names(), "|")+")")
+		executors   = flag.Int("executors", 25, "executor count the decima model was built for")
+		model       = flag.String("model", "", "optional trained decima model to load")
+		sampled     = flag.Bool("sampled", false, "sample actions instead of greedy argmax")
+		seed        = flag.Int64("seed", 1, "random seed for schedulers (per-session seeds from OpenSession take precedence)")
+		maxSessions = flag.Int("max-sessions", rpcsvc.DefaultMaxSessions, "bound on concurrent sessions (LRU eviction beyond it; <0 unbounded)")
+		idleTimeout = flag.Duration("idle-timeout", rpcsvc.DefaultIdleTimeout, "evict sessions idle for this long (<0 never)")
 	)
 	flag.Parse()
 
-	agent := core.New(core.DefaultConfig(*executors), rand.New(rand.NewSource(*seed)))
+	// The decima agent is built (and its model loaded) once; sessions get
+	// clones, so concurrent sessions share no mutable state while serving
+	// identical parameters. Each session's clone runs the inference fast
+	// path with the incremental embedding cache ON: the session protocol
+	// keeps the server-side sim.JobState mirrors alive across events, so
+	// the pointer+Version-keyed cache finally hits in serving too.
+	base := core.New(core.DefaultConfig(*executors), rand.New(rand.NewSource(*seed)))
 	if *model != "" {
-		if err := agent.Load(*model); err != nil {
+		if err := base.Load(*model); err != nil {
 			log.Fatalf("load model: %v", err)
 		}
 	}
-	agent.Greedy = !*sampled
-	// Serving runs on the inference fast path (nil Hook): every decision
-	// takes the no-grad fused forward. The incremental embedding cache is
-	// disabled because rpcsvc rebuilds the cluster state from the wire on
-	// every request, so the pointer-keyed cache could never hit — NoCache
-	// skips its bookkeeping and keeps results on arena buffers. Decisions
-	// are identical either way (see DESIGN.md).
-	agent.NoCache = true
 
-	srv, err := rpcsvc.ListenAndServe(*addr, agent)
+	cfg := rpcsvc.SessionConfig{
+		Default:     *schedName,
+		MaxSessions: *maxSessions,
+		IdleTimeout: *idleTimeout,
+		New: func(name string, sessSeed int64) (scheduler.Scheduler, error) {
+			if sessSeed == 0 {
+				sessSeed = *seed
+			}
+			return scheduler.New(name, scheduler.Options{
+				Executors: *executors,
+				Seed:      sessSeed,
+				Sampled:   *sampled,
+				Agent:     base, // used by "decima" only: serve a clone
+			})
+		},
+	}
+
+	srv, err := rpcsvc.ListenAndServeSessions(*addr, cfg)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("decima scheduling service listening on %s\n", srv.Addr())
+	fmt.Printf("default scheduler %q, max %d sessions, idle timeout %s\n", *schedName, *maxSessions, *idleTimeout)
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

@@ -1,0 +1,106 @@
+// Command decima-smoke is the CI smoke check for the serving binary: it
+// starts a real decima-server process, opens a scheduling session over TCP,
+// drives a full simulated workload through it (at least -events scheduling
+// events), closes the session, and asserts the server shuts down cleanly on
+// SIGINT. Any failure exits non-zero.
+//
+//	go build -o bin/decima-server ./cmd/decima-server
+//	go run ./cmd/decima-smoke -bin bin/decima-server -events 100
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/rpcsvc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bin       = flag.String("bin", "bin/decima-server", "path to the decima-server binary")
+		events    = flag.Int("events", 100, "minimum number of scheduling events to drive")
+		executors = flag.Int("executors", 8, "simulated cluster size")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	deadline := time.AfterFunc(*timeout, func() {
+		log.Fatalf("smoke: deadline %s exceeded", *timeout)
+	})
+	defer deadline.Stop()
+
+	cmd := exec.Command(*bin, "-addr", "127.0.0.1:0", "-executors", fmt.Sprint(*executors))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatalf("smoke: stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("smoke: start server: %v", err)
+	}
+	defer cmd.Process.Kill() // no-op after a clean Wait
+
+	// The server announces its bound address as the first line.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println("[server]", line)
+		if i := strings.LastIndex(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		log.Fatal("smoke: server never announced its address")
+	}
+	// Keep draining server output in the background so it never blocks on a
+	// full pipe, and so the shutdown message reaches the CI log.
+	go func() {
+		for sc.Scan() {
+			fmt.Println("[server]", sc.Text())
+		}
+	}()
+
+	cli, err := rpcsvc.Dial(addr)
+	if err != nil {
+		log.Fatalf("smoke: dial %s: %v", addr, err)
+	}
+	defer cli.Close()
+
+	total := 0
+	for round := int64(1); total < *events; round++ {
+		var rpcErr error
+		ss := &rpcsvc.SessionScheduler{Client: cli, Seed: round, OnError: func(e error) { rpcErr = e }}
+		jobs := workload.Batch(rand.New(rand.NewSource(round)), 6)
+		res := sim.New(sim.SparkDefaults(*executors), jobs, ss, rand.New(rand.NewSource(round))).Run()
+		if rpcErr != nil {
+			log.Fatalf("smoke: session RPC error: %v", rpcErr)
+		}
+		if res.Deadlock || res.Unfinished != 0 {
+			log.Fatalf("smoke: run failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+		}
+		if err := ss.Close(); err != nil {
+			log.Fatalf("smoke: close session: %v", err)
+		}
+		total += res.Invocations
+		fmt.Printf("smoke: round %d ok, %d/%d events, avg JCT %.1f s\n", round, total, *events, res.AvgJCT())
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		log.Fatalf("smoke: signal server: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("smoke: server did not shut down cleanly: %v", err)
+	}
+	fmt.Printf("SMOKE OK: %d scheduling events served over a session, clean shutdown\n", total)
+}

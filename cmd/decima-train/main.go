@@ -6,6 +6,7 @@
 //
 //	decima-train -executors 25 -iters 500 -out model.gob
 //	decima-train -workload trace -objective makespan -curve curve.csv
+//	decima-train -iters 200 -eval-against fifo,fair,opt-wfair
 package main
 
 import (
@@ -16,10 +17,12 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rl"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -39,6 +42,7 @@ func main() {
 		out       = flag.String("out", "decima-model.gob", "model output path")
 		curve     = flag.String("curve", "", "optional learning-curve CSV output path")
 		logEvery  = flag.Int("log-every", 10, "print stats every N iterations")
+		evalVs    = flag.String("eval-against", "", "after training, evaluate the model head-to-head against these comma-separated registry schedulers on held-out sequences")
 	)
 	flag.Parse()
 
@@ -99,6 +103,32 @@ func main() {
 		log.Fatalf("save model: %v", err)
 	}
 	fmt.Printf("model written to %s\n", *out)
+
+	if *evalVs != "" {
+		// Held-out evaluation sequences (not seen during training).
+		var seqs [][]*dag.Job
+		for i := 0; i < 5; i++ {
+			seqs = append(seqs, src(rand.New(rand.NewSource(*seed+1000+int64(i)))))
+		}
+		jct, ms := rl.Evaluate(agent, seqs, simCfg, *seed)
+		fmt.Printf("\n%-16s %12s %12s\n", "scheduler", "avg JCT [s]", "makespan [s]")
+		fmt.Printf("%-16s %12.1f %12.1f\n", "decima (trained)", jct, ms)
+		for _, name := range strings.Split(*evalVs, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" || name == "decima" {
+				continue
+			}
+			mk := func() sim.Scheduler {
+				s, err := scheduler.New(name, scheduler.Options{Executors: *executors, Seed: *seed})
+				if err != nil {
+					log.Fatal(err)
+				}
+				return scheduler.Sim(s)
+			}
+			jct, ms := rl.EvaluateScheduler(mk, seqs, simCfg, *seed)
+			fmt.Printf("%-16s %12.1f %12.1f\n", name, jct, ms)
+		}
+	}
 
 	if *curve != "" {
 		f, err := os.Create(*curve)

@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
 	"strings"
@@ -12,7 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rl"
-	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -33,13 +34,15 @@ func main() {
 		res := sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(1))).Run()
 		entries = append(entries, entry{name, res})
 	}
-	run("fifo", sched.NewFIFO())
-	run("sjf-cp", sched.NewSJFCP())
-	run("fair", sched.NewFair())
-	run("naive-weighted-fair", sched.NewNaiveWeightedFair())
-	run("opt-weighted-fair", sched.NewWeightedFair(-1))
-	run("tetris", sched.NewTetris())
-	run("graphene*", sched.NewGraphene(sched.DefaultGrapheneConfig()))
+	// All seven §7.1 baselines, selected from the scheduler registry by
+	// their paper names.
+	for _, name := range []string{"fifo", "sjf-cp", "fair", "naive-wfair", "opt-wfair", "tetris", "graphene-star"} {
+		s, err := scheduler.New(name, scheduler.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(name, scheduler.Sim(s))
+	}
 
 	agent := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(2)))
 	src := func(r *rand.Rand) []*dag.Job { return workload.Batch(r, 12) }

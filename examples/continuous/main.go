@@ -12,7 +12,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/metrics"
 	"repro/internal/rl"
-	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -30,7 +30,11 @@ func main() {
 	jobs := workload.Poisson(rand.New(rand.NewSource(11)), numJobs, iat)
 	simCfg := sim.SparkDefaults(executors)
 
-	heur := sim.New(simCfg, workload.CloneAll(jobs), sched.NewWeightedFair(-1), rand.New(rand.NewSource(1))).Run()
+	wfair, err := scheduler.New("opt-wfair", scheduler.Options{})
+	if err != nil {
+		panic(err)
+	}
+	heur := sim.New(simCfg, workload.CloneAll(jobs), scheduler.Sim(wfair), rand.New(rand.NewSource(1))).Run()
 
 	agent := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(2)))
 	src := func(r *rand.Rand) []*dag.Job { return workload.Poisson(r, 12, iat) }

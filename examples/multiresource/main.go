@@ -5,12 +5,13 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rl"
-	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -35,9 +36,13 @@ func main() {
 		res := sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(1))).Run()
 		entries = append(entries, entry{name, res})
 	}
-	run("opt-weighted-fair", sched.NewWeightedFair(-1))
-	run("tetris", sched.NewTetris())
-	run("graphene*", sched.NewGraphene(sched.DefaultGrapheneConfig()))
+	for _, name := range []string{"opt-wfair", "tetris", "graphene-star"} {
+		s, err := scheduler.New(name, scheduler.Options{Classes: simCfg.Classes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(name, scheduler.Sim(s))
+	}
 
 	acfg := core.DefaultConfig(total)
 	acfg.ClassMem = []float64{0.25, 0.5, 0.75, 1.0}

@@ -1,16 +1,18 @@
 // Quickstart: build a small TPC-H batch, schedule it with a fair-share
-// heuristic and with a briefly-trained Decima agent, and compare the
-// average job completion time.
+// heuristic selected from the scheduler registry and with a
+// briefly-trained Decima agent, and compare the average job completion
+// time.
 package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rl"
-	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -28,8 +30,14 @@ func main() {
 	}
 	simCfg := sim.SparkDefaults(executors)
 
-	// 1. Schedule with the fair heuristic.
-	res := sim.New(simCfg, workload.CloneAll(jobs), sched.NewFair(), rand.New(rand.NewSource(1))).Run()
+	// 1. Schedule with the fair heuristic, picked by registry name — swap
+	// the string for any of scheduler.Names() ("fifo", "sjf-cp",
+	// "tetris", ...) to compare policies.
+	fair, err := scheduler.New("fair", scheduler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.New(simCfg, workload.CloneAll(jobs), scheduler.Sim(fair), rand.New(rand.NewSource(1))).Run()
 	fmt.Printf("fair scheduler : avg JCT %7.1f s, makespan %7.1f s\n", res.AvgJCT(), res.Makespan)
 
 	// 2. Train a Decima agent briefly on the same kind of workload.

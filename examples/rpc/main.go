@@ -1,6 +1,12 @@
-// RPC integration (the §6 scenario): start a Decima scheduling service
+// RPC integration (the §6 scenario): start a scheduling service
 // in-process, then drive a cluster simulation against it over TCP, exactly
 // as a Spark master would consult the agent on every scheduling event.
+//
+// The driver uses the v2 session protocol — OpenSession once, then one
+// O(delta) Event per scheduling event against the server's persistent
+// cluster mirror (which keeps the agent's embedding cache warm) — and then
+// repeats the run over the legacy stateless protocol to show both wire
+// paths produce the identical schedule.
 package main
 
 import (
@@ -10,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rpcsvc"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -17,10 +24,15 @@ import (
 func main() {
 	const executors = 8
 
-	// The service side: a Decima agent behind TCP.
-	agent := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(1)))
-	agent.Greedy = true
-	srv, err := rpcsvc.ListenAndServe("127.0.0.1:0", agent)
+	// The service side: session-serving, minting one agent clone per
+	// session from a shared base (as cmd/decima-server does).
+	base := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(1)))
+	srv, err := rpcsvc.ListenAndServeSessions("127.0.0.1:0", rpcsvc.SessionConfig{
+		Default: "decima",
+		New: func(name string, seed int64) (scheduler.Scheduler, error) {
+			return scheduler.New(name, scheduler.Options{Executors: executors, Seed: seed, Agent: base})
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,14 +47,28 @@ func main() {
 	}
 	defer cli.Close()
 
-	var rpcErrs int
-	remote := &rpcsvc.RemoteScheduler{Client: cli, OnError: func(error) { rpcErrs++ }}
 	jobs := workload.Batch(rand.New(rand.NewSource(2)), 6)
-	res := sim.New(sim.SparkDefaults(executors), jobs, remote, rand.New(rand.NewSource(3))).Run()
 
-	fmt.Printf("scheduled %d jobs over RPC: avg JCT %.1f s, makespan %.1f s, %d scheduler calls, %d rpc errors\n",
+	var rpcErrs int
+	session := &rpcsvc.SessionScheduler{Client: cli, OnError: func(error) { rpcErrs++ }}
+	res := sim.New(sim.SparkDefaults(executors), workload.CloneAll(jobs), session, rand.New(rand.NewSource(3))).Run()
+	if err := session.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session protocol:   %d jobs, avg JCT %.1f s, makespan %.1f s, %d events, %d rpc errors\n",
 		len(res.Completed), res.AvgJCT(), res.Makespan, res.Invocations, rpcErrs)
-	if res.Unfinished > 0 {
-		log.Fatalf("%d jobs unfinished", res.Unfinished)
+
+	// Same run over the stateless v1 protocol (full snapshot per request).
+	stateless := &rpcsvc.RemoteScheduler{Client: cli, OnError: func(error) { rpcErrs++ }}
+	res2 := sim.New(sim.SparkDefaults(executors), workload.CloneAll(jobs), stateless, rand.New(rand.NewSource(3))).Run()
+	fmt.Printf("stateless protocol: %d jobs, avg JCT %.1f s, makespan %.1f s, %d events, %d rpc errors\n",
+		len(res2.Completed), res2.AvgJCT(), res2.Makespan, res2.Invocations, rpcErrs)
+
+	if res.AvgJCT() != res2.AvgJCT() || res.Makespan != res2.Makespan {
+		log.Fatal("protocols diverged — they must produce identical schedules")
+	}
+	fmt.Println("both protocols produced the identical schedule")
+	if res.Unfinished > 0 || res2.Unfinished > 0 {
+		log.Fatalf("jobs unfinished: %d / %d", res.Unfinished, res2.Unfinished)
 	}
 }

@@ -13,7 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rl"
 	"repro/internal/rpcsvc"
-	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -62,6 +62,17 @@ func TestEndToEndTrainSaveServeSchedule(t *testing.T) {
 		t.Fatal("no JCT recorded")
 	}
 
+	// The same deployment through the v2 session protocol (server-side
+	// state, O(delta) events) must produce the identical schedule.
+	ss := &rpcsvc.SessionScheduler{Client: cli}
+	sessRes := sim.New(simCfg, workload.Batch(rand.New(rand.NewSource(4)), 5), ss, rand.New(rand.NewSource(5))).Run()
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sessRes.AvgJCT() != res.AvgJCT() {
+		t.Fatalf("session protocol diverges from stateless: %v vs %v", sessRes.AvgJCT(), res.AvgJCT())
+	}
+
 	// The served (loaded) model must behave identically to the original
 	// agent run locally in greedy mode.
 	agent.Greedy = true
@@ -73,7 +84,9 @@ func TestEndToEndTrainSaveServeSchedule(t *testing.T) {
 }
 
 // TestAllSchedulersOnAllWorkloads is a broad compatibility sweep: every
-// scheduler completes every workload family without deadlock.
+// registry-registered policy completes every workload family without
+// deadlock, selected exactly the way experiments and the server select
+// them (scheduler.New by name).
 func TestAllSchedulersOnAllWorkloads(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	workloads := map[string][]*dag.Job{
@@ -83,20 +96,13 @@ func TestAllSchedulersOnAllWorkloads(t *testing.T) {
 			NumJobs: 5, MeanIAT: 10, MaxStages: 15,
 		}),
 	}
-	agent := core.New(core.DefaultConfig(8), rand.New(rand.NewSource(11)))
-	agent.Greedy = true
-	schedulers := map[string]sim.Scheduler{
-		"fifo":     sched.NewFIFO(),
-		"sjf-cp":   sched.NewSJFCP(),
-		"fair":     sched.NewFair(),
-		"wfair":    sched.NewWeightedFair(-1),
-		"tetris":   sched.NewTetris(),
-		"graphene": sched.NewGraphene(sched.DefaultGrapheneConfig()),
-		"decima":   agent,
-	}
 	for wname, jobs := range workloads {
-		for sname, s := range schedulers {
-			res := sim.New(sim.SparkDefaults(8), workload.CloneAll(jobs), s, rand.New(rand.NewSource(12))).Run()
+		for _, sname := range scheduler.Names() {
+			s, err := scheduler.New(sname, scheduler.Options{Executors: 8, Seed: 11})
+			if err != nil {
+				t.Fatalf("build %s: %v", sname, err)
+			}
+			res := sim.New(sim.SparkDefaults(8), workload.CloneAll(jobs), scheduler.Sim(s), rand.New(rand.NewSource(12))).Run()
 			if res.Deadlock || res.Unfinished != 0 {
 				t.Fatalf("%s on %s: unfinished=%d deadlock=%v", sname, wname, res.Unfinished, res.Deadlock)
 			}
@@ -110,7 +116,11 @@ func TestAllSchedulersOnAllWorkloads(t *testing.T) {
 func TestLittlesLawConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(20))
 	jobs := workload.Poisson(rng, 10, 30)
-	res := sim.New(sim.SparkDefaults(6), jobs, sched.NewFair(), rng).Run()
+	fair, err := scheduler.New("fair", scheduler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.New(sim.SparkDefaults(6), jobs, scheduler.Sim(fair), rng).Run()
 	if res.Unfinished != 0 {
 		t.Fatal("jobs unfinished")
 	}

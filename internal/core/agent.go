@@ -176,6 +176,17 @@ func (a *Agent) Clone(rng *rand.Rand) *Agent {
 // architecture (typically the agent this one was cloned from).
 func (a *Agent) SyncFrom(src *Agent) { nn.CopyParams(a.Params(), src.Params()) }
 
+// Decide implements the unified scheduler contract of internal/scheduler:
+// one invocation produces one ⟨stage, limit(, class)⟩ action. A local
+// decision cannot fail, so the error is always nil; the slot exists so the
+// agent is interchangeable with remote (RPC-backed) schedulers.
+func (a *Agent) Decide(s *sim.State) (*sim.Action, error) { return a.Schedule(s), nil }
+
+// Reset implements the unified scheduler contract: it clears per-run state
+// (the embedding cache) so the agent can serve a fresh run. Parameters,
+// greediness and the sampling RNG are untouched.
+func (a *Agent) Reset() { a.ResetCache() }
+
 // ResetCache drops the embedding cache, releasing its references to the
 // last run's simulator state (jobs, DAGs, cached embeddings). Callers that
 // keep an agent alive after a rollout finishes (e.g. rl.Evaluate, a trainer

@@ -10,6 +10,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rl"
 	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -60,7 +61,7 @@ func Fig16(sc Scale) *Table {
 		job := Fig16Job(eps)
 		return sim.New(cfg, []*dag.Job{job}, s, rand.New(rand.NewSource(sc.Seed))).Run().Makespan
 	}
-	cp := run(sched.NewSJFCP())
+	cp := run(mkNamed("sjf-cp", scheduler.Options{})())
 	t.Add("critical-path first", cp)
 
 	// Planned schedule: clear the tiny left stages first, then overlap the
@@ -103,8 +104,8 @@ func Fig18(sc Scale) *Table {
 				n = 5
 			}
 			jobs := workload.Batch(rng, n)
-			detailed := sim.New(sim.SparkDefaults(sc.Executors), workload.CloneAll(jobs), sched.NewFair(), rand.New(rand.NewSource(sc.Seed+int64(i)))).Run()
-			ideal := sim.New(sim.Idealized(sc.Executors), workload.CloneAll(jobs), sched.NewFair(), rand.New(rand.NewSource(sc.Seed+int64(i)))).Run()
+			detailed := sim.New(sim.SparkDefaults(sc.Executors), workload.CloneAll(jobs), mkNamed("fair", scheduler.Options{})(), rand.New(rand.NewSource(sc.Seed+int64(i)))).Run()
+			ideal := sim.New(sim.Idealized(sc.Executors), workload.CloneAll(jobs), mkNamed("fair", scheduler.Options{})(), rand.New(rand.NewSource(sc.Seed+int64(i)))).Run()
 			det := map[int]float64{}
 			for _, r := range detailed.Completed {
 				det[r.ID] = r.JCT()
@@ -231,10 +232,17 @@ func Fig22(sc Scale) *Table {
 	jobs := workload.Batch(rand.New(rand.NewSource(sc.Seed+7000)), n)
 	seqs := [][]*dag.Job{jobs}
 
-	jct, _ := rl.EvaluateScheduler(func() sim.Scheduler { return sched.NewSJFCP() }, seqs, cfg, sc.Seed)
-	t.Add("sjf-cp", jct)
-	jct, _ = rl.EvaluateScheduler(func() sim.Scheduler { return sched.NewWeightedFair(-1) }, seqs, cfg, sc.Seed)
-	t.Add("opt-wfair", jct)
+	// The heuristic reference rows honour a Scale.Schedulers selection; the
+	// exhaustive search and Decima rows are the figure's point and always
+	// run.
+	var jct float64
+	for _, name := range sc.schedulerNames("sjf-cp", "opt-wfair") {
+		if name == "decima" {
+			continue
+		}
+		jct, _ = rl.EvaluateScheduler(mkNamed(name, scheduler.Options{Seed: sc.Seed}), seqs, cfg, sc.Seed)
+		t.Add(name, jct)
+	}
 
 	best := math.Inf(1)
 	perm := make([]int, n)

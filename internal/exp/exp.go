@@ -19,6 +19,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/rl"
 	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -99,6 +100,32 @@ type Scale struct {
 	Workers int
 	// Seed makes the whole experiment deterministic.
 	Seed int64
+	// Schedulers optionally overrides which policies a comparison figure
+	// runs, by internal/scheduler registry name ("decima" included). Empty
+	// keeps the figure's default set. cmd/decima-bench -scheduler sets it,
+	// so any figure can run any registered policy (or a subset, e.g. to
+	// skip Decima training). Figures that compare agent ablations rather
+	// than policies ignore it.
+	Schedulers []string
+}
+
+// schedulerNames resolves a figure's comparison set: the explicit
+// Scale.Schedulers selection when present, the figure's defaults otherwise.
+func (sc Scale) schedulerNames(defaults ...string) []string {
+	if len(sc.Schedulers) > 0 {
+		return sc.Schedulers
+	}
+	return defaults
+}
+
+// wantsScheduler reports whether name is in the figure's resolved set.
+func (sc Scale) wantsScheduler(defaults []string, name string) bool {
+	for _, n := range sc.schedulerNames(defaults...) {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // ScaleTiny finishes in seconds; used by the repository benchmarks.
@@ -161,25 +188,38 @@ func trainAgent(sc Scale, simCfg sim.Config, src rl.JobSource, mod func(*core.Co
 	return agent
 }
 
-// baselines returns the single-resource baseline schedulers of §7.1 keyed
-// by their paper names, each as a fresh-instance factory.
-func baselines() map[string]func() sim.Scheduler {
-	return map[string]func() sim.Scheduler{
-		"fifo":          func() sim.Scheduler { return sched.NewFIFO() },
-		"sjf-cp":        func() sim.Scheduler { return sched.NewSJFCP() },
-		"fair":          func() sim.Scheduler { return sched.NewFair() },
-		"naive-wfair":   func() sim.Scheduler { return sched.NewNaiveWeightedFair() },
-		"opt-wfair":     func() sim.Scheduler { return sched.NewWeightedFair(-1) },
-		"tetris":        func() sim.Scheduler { return sched.NewTetris() },
-		"graphene-star": func() sim.Scheduler { return sched.NewGraphene(sched.DefaultGrapheneConfig()) },
+// mkNamed returns a fresh-instance factory for one registry scheduler.
+// Registry names are validated at first use; an unknown name is a caller
+// bug, so it panics rather than silently degrading a figure.
+func mkNamed(name string, opts scheduler.Options) func() sim.Scheduler {
+	return func() sim.Scheduler {
+		s, err := scheduler.New(name, opts)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %v", err))
+		}
+		return scheduler.Sim(s)
 	}
+}
+
+// baselines returns the single-resource baseline schedulers of §7.1 keyed
+// by their paper names — which are their internal/scheduler registry names
+// — each as a fresh-instance factory.
+func baselines() map[string]func() sim.Scheduler {
+	m := make(map[string]func() sim.Scheduler, len(baselineOrder))
+	for _, name := range baselineOrder {
+		m[name] = mkNamed(name, scheduler.Options{})
+	}
+	return m
 }
 
 // baselineOrder fixes a stable presentation order.
 var baselineOrder = []string{"fifo", "sjf-cp", "fair", "naive-wfair", "opt-wfair", "tetris", "graphene-star"}
 
 // tuneWeightedFair sweeps α over the paper's grid on held-out sequences and
-// returns the best exponent (§7.1 baseline 5).
+// returns the best exponent (§7.1 baseline 5). The sweep constructs
+// sched.NewWeightedFair directly — it tunes a parameter, it does not select
+// a policy, so the registry (whose "opt-wfair" maps α = 0 to the tuned
+// default) is the wrong tool here.
 func tuneWeightedFair(seqs [][]*dag.Job, simCfg sim.Config, seed int64) float64 {
 	bestAlpha, bestJCT := 0.0, -1.0
 	for a := -20; a <= 20; a++ {

@@ -3,10 +3,11 @@ package exp
 import (
 	"fmt"
 	"math/rand"
+
 	"repro/internal/dag"
 	"repro/internal/metrics"
 	"repro/internal/rl"
-	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -44,14 +45,17 @@ func runMultiRes(sc Scale, title string, jobs []*dag.Job, src rl.JobSource) *Tab
 	run := func(s sim.Scheduler) *sim.Result {
 		return sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(sc.Seed))).Run()
 	}
-	for _, name := range []string{"opt-wfair", "tetris", "graphene-star"} {
-		res := run(baselines()[name]())
+	for _, name := range sc.schedulerNames("opt-wfair", "tetris", "graphene-star", "decima") {
+		var res *sim.Result
+		if name == "decima" {
+			agent := trainAgent(sc, simCfg, src, nil, nil)
+			agent.Greedy = true
+			res = run(agent)
+		} else {
+			res = run(mkNamed(name, scheduler.Options{Seed: sc.Seed, Classes: simCfg.Classes})())
+		}
 		t.Add(name, res.AvgJCT(), res.Unfinished)
 	}
-	agent := trainAgent(sc, simCfg, src, nil, nil)
-	agent.Greedy = true
-	res := run(agent)
-	t.Add("decima", res.AvgJCT(), res.Unfinished)
 	return t
 }
 
@@ -91,7 +95,7 @@ func Fig12(sc Scale) *Table {
 		sc.ContinuousJobs,
 		workload.IATForLoad(0.7, sc.Executors),
 	)
-	graphene := sim.New(simCfg, workload.CloneAll(jobs), sched.NewGraphene(sched.DefaultGrapheneConfig()), rand.New(rand.NewSource(sc.Seed))).Run()
+	graphene := sim.New(simCfg, workload.CloneAll(jobs), mkNamed("graphene-star", scheduler.Options{Seed: sc.Seed})(), rand.New(rand.NewSource(sc.Seed))).Run()
 	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
 	agent.Greedy = true
 	decima := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
@@ -147,7 +151,7 @@ func Fig20(sc Scale) *Table {
 		sc.ContinuousJobs,
 		workload.IATForLoad(0.8, sc.Executors),
 	)
-	g := sim.New(simCfg, workload.CloneAll(jobs), sched.NewGraphene(sched.DefaultGrapheneConfig()), rand.New(rand.NewSource(sc.Seed))).Run()
+	g := sim.New(simCfg, workload.CloneAll(jobs), mkNamed("graphene-star", scheduler.Options{Seed: sc.Seed})(), rand.New(rand.NewSource(sc.Seed))).Run()
 	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
 	agent.Greedy = true
 	d := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
@@ -192,7 +196,7 @@ func Fig21(sc Scale) *Table {
 		sc.ContinuousJobs,
 		workload.IATForLoad(0.7, sc.Executors),
 	)
-	g := sim.New(simCfg, workload.CloneAll(jobs), sched.NewGraphene(sched.DefaultGrapheneConfig()), rand.New(rand.NewSource(sc.Seed))).Run()
+	g := sim.New(simCfg, workload.CloneAll(jobs), mkNamed("graphene-star", scheduler.Options{Seed: sc.Seed})(), rand.New(rand.NewSource(sc.Seed))).Run()
 	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
 	agent.Greedy = true
 	d := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rl"
 	"repro/internal/sched"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -30,7 +31,7 @@ func Fig2(sc Scale) *Table {
 			job := workload.TPCHJob(c.q, c.size)
 			cfg := sim.SparkDefaults(p)
 			cfg.DurationNoise = 0
-			res := sim.New(cfg, []*dag.Job{job}, sched.NewFIFO(), rand.New(rand.NewSource(sc.Seed))).Run()
+			res := sim.New(cfg, []*dag.Job{job}, mkNamed("fifo", scheduler.Options{})(), rand.New(rand.NewSource(sc.Seed))).Run()
 			t.Add(fmt.Sprintf("Q%d", c.q), c.size, p, res.Completed[0].JCT())
 		}
 	}
@@ -49,7 +50,8 @@ func Fig2Runtime(q int, sizeGB float64, parallelism int, seed int64) float64 {
 
 // Fig3 reproduces Figure 3: the illustrative 10-job, 50-slot comparison of
 // FIFO, SJF, fair and Decima scheduling. The paper's shape: Decima < fair <
-// SJF < FIFO on average JCT.
+// SJF < FIFO on average JCT. Scale.Schedulers swaps in any registered
+// policy set.
 func Fig3(sc Scale) *Table {
 	t := &Table{
 		Title:  "Figure 3: 10 random TPC-H jobs on 50 task slots",
@@ -60,14 +62,16 @@ func Fig3(sc Scale) *Table {
 	seqs := [][]*dag.Job{jobs}
 	simCfg := sim.SparkDefaults(execs)
 
-	for _, name := range []string{"fifo", "sjf-cp", "fair"} {
-		mk := baselines()[name]
-		jct, ms := rl.EvaluateScheduler(mk, seqs, simCfg, sc.Seed)
+	for _, name := range sc.schedulerNames("fifo", "sjf-cp", "fair", "decima") {
+		var jct, ms float64
+		if name == "decima" {
+			agent := trainAgent(sc, simCfg, smallJobSource(10, 3), nil, nil)
+			jct, ms = rl.Evaluate(agent, seqs, simCfg, sc.Seed)
+		} else {
+			jct, ms = rl.EvaluateScheduler(mkNamed(name, scheduler.Options{Seed: sc.Seed}), seqs, simCfg, sc.Seed)
+		}
 		t.Add(name, jct, ms)
 	}
-	agent := trainAgent(sc, simCfg, smallJobSource(10, 3), nil, nil)
-	jct, ms := rl.Evaluate(agent, seqs, simCfg, sc.Seed)
-	t.Add("decima", jct, ms)
 	return t
 }
 
@@ -89,20 +93,24 @@ func Fig9a(sc Scale) *Table {
 		}
 		return jcts
 	}
-	alpha := tuneWeightedFair(seqs[:min(3, len(seqs))], simCfg, sc.Seed)
-	bl := baselines()
-	bl["opt-wfair"] = func() sim.Scheduler { return sched.NewWeightedFair(alpha) }
-	for _, name := range baselineOrder {
-		js := collect(bl[name])
+	names := sc.schedulerNames(append(append([]string(nil), baselineOrder...), "decima")...)
+	for _, name := range names {
+		var js []float64
+		switch name {
+		case "decima":
+			agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+			for i, jobs := range seqs {
+				jct, _ := rl.Evaluate(agent, [][]*dag.Job{jobs}, simCfg, sc.Seed+int64(i))
+				js = append(js, jct)
+			}
+		case "opt-wfair":
+			alpha := tuneWeightedFair(seqs[:min(3, len(seqs))], simCfg, sc.Seed)
+			js = collect(func() sim.Scheduler { return sched.NewWeightedFair(alpha) })
+		default:
+			js = collect(mkNamed(name, scheduler.Options{Seed: sc.Seed}))
+		}
 		t.Add(name, metrics.Mean(js), metrics.Percentile(js, 25), metrics.Percentile(js, 50), metrics.Percentile(js, 75))
 	}
-	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
-	var js []float64
-	for i, jobs := range seqs {
-		jct, _ := rl.Evaluate(agent, [][]*dag.Job{jobs}, simCfg, sc.Seed+int64(i))
-		js = append(js, jct)
-	}
-	t.Add("decima", metrics.Mean(js), metrics.Percentile(js, 25), metrics.Percentile(js, 50), metrics.Percentile(js, 75))
 	return t
 }
 
@@ -121,14 +129,17 @@ func Fig9b(sc Scale) *Table {
 	run := func(s sim.Scheduler) *sim.Result {
 		return sim.New(simCfg, workload.CloneAll(jobs), s, rand.New(rand.NewSource(sc.Seed))).Run()
 	}
-	for _, name := range []string{"fair", "opt-wfair"} {
-		res := run(baselines()[name]())
+	for _, name := range sc.schedulerNames("fair", "opt-wfair", "decima") {
+		var res *sim.Result
+		if name == "decima" {
+			agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+			agent.Greedy = true
+			res = run(agent)
+		} else {
+			res = run(mkNamed(name, scheduler.Options{Seed: sc.Seed})())
+		}
 		t.Add(name, res.AvgJCT(), len(res.Completed), res.Unfinished)
 	}
-	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
-	agent.Greedy = true
-	res := run(agent)
-	t.Add("decima", res.AvgJCT(), len(res.Completed), res.Unfinished)
 	return t
 }
 
@@ -136,18 +147,45 @@ func Fig9b(sc Scale) *Table {
 // peak concurrent jobs, JCT by job size, executor shares for small jobs,
 // and work inflation, Decima versus the tuned weighted-fair heuristic.
 func Fig10(sc Scale) *Table {
+	// The figure contrasts Decima against one reference heuristic; a
+	// Scale.Schedulers selection swaps the heuristic column for any
+	// registered policy, and leaving "decima" out of the selection drops
+	// that column (and its training cost) entirely.
+	defaults := []string{"opt-wfair", "decima"}
+	heurName := "opt-wfair"
+	for _, n := range sc.Schedulers {
+		if n != "decima" {
+			heurName = n
+			break
+		}
+	}
+	wantDecima := sc.wantsScheduler(defaults, "decima")
+	header := []string{"metric", heurName}
+	if wantDecima {
+		header = append(header, "decima")
+	}
 	t := &Table{
 		Title:  "Figure 10: time-series analysis of continuous arrivals",
-		Header: []string{"metric", "opt-wfair", "decima"},
+		Header: header,
+	}
+	add := func(metric string, f func(*sim.Result) float64, heur, dec *sim.Result) {
+		if wantDecima {
+			t.Add(metric, f(heur), f(dec))
+		} else {
+			t.Add(metric, f(heur))
+		}
 	}
 	simCfg := sim.SparkDefaults(sc.Executors)
 	iat := workload.IATForLoad(0.8, sc.Executors)
 	jobs := workload.Poisson(rand.New(rand.NewSource(sc.Seed+300)), sc.ContinuousJobs, iat)
 
-	heur := sim.New(simCfg, workload.CloneAll(jobs), sched.NewWeightedFair(-1), rand.New(rand.NewSource(sc.Seed))).Run()
-	agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
-	agent.Greedy = true
-	dec := sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
+	heur := sim.New(simCfg, workload.CloneAll(jobs), mkNamed(heurName, scheduler.Options{Seed: sc.Seed})(), rand.New(rand.NewSource(sc.Seed))).Run()
+	var dec *sim.Result
+	if wantDecima {
+		agent := trainAgent(sc, simCfg, smallJobSource(sc.BatchJobs, 3), nil, nil)
+		agent.Greedy = true
+		dec = sim.New(simCfg, workload.CloneAll(jobs), agent, rand.New(rand.NewSource(sc.Seed))).Run()
+	}
 
 	peak := func(r *sim.Result) float64 {
 		var p float64
@@ -158,8 +196,8 @@ func Fig10(sc Scale) *Table {
 		}
 		return p
 	}
-	t.Add("peak concurrent jobs (10a)", peak(heur), peak(dec))
-	t.Add("avg JCT (10b)", heur.AvgJCT(), dec.AvgJCT())
+	add("peak concurrent jobs (10a)", peak, heur, dec)
+	add("avg JCT (10b)", (*sim.Result).AvgJCT, heur, dec)
 
 	smallJCT := func(r *sim.Result) float64 {
 		var works, jcts []float64
@@ -173,7 +211,7 @@ func Fig10(sc Scale) *Table {
 		}
 		return bins[0].Mean
 	}
-	t.Add("small-job (lowest quintile) JCT (10c)", smallJCT(heur), smallJCT(dec))
+	add("small-job (lowest quintile) JCT (10c)", smallJCT, heur, dec)
 
 	execSecs := func(r *sim.Result) float64 {
 		var works, secs []float64
@@ -191,7 +229,7 @@ func Fig10(sc Scale) *Table {
 		}
 		return bins[0].Mean
 	}
-	t.Add("small-job mean executors (10d)", execSecs(heur), execSecs(dec))
+	add("small-job mean executors (10d)", execSecs, heur, dec)
 
 	inflation := func(r *sim.Result) float64 {
 		var ratios []float64
@@ -202,7 +240,7 @@ func Fig10(sc Scale) *Table {
 		}
 		return metrics.Mean(ratios)
 	}
-	t.Add("work inflation executed/ideal (10e)", inflation(heur), inflation(dec))
+	add("work inflation executed/ideal (10e)", inflation, heur, dec)
 	return t
 }
 

@@ -20,7 +20,8 @@ func Dial(addr string) (*Client, error) {
 	return &Client{rpc: c}, nil
 }
 
-// Schedule sends one scheduling request and returns the decision.
+// Schedule sends one stateless scheduling request and returns the decision
+// (the v1 protocol; the server answers it as an ephemeral session).
 func (c *Client) Schedule(req *ScheduleRequest) (*ScheduleResponse, error) {
 	var resp ScheduleResponse
 	if err := c.rpc.Call("Decima.Schedule", req, &resp); err != nil {
@@ -29,12 +30,160 @@ func (c *Client) Schedule(req *ScheduleRequest) (*ScheduleResponse, error) {
 	return &resp, nil
 }
 
+// OpenSession establishes a v2 scheduling session on the server and returns
+// the client-side handle that tracks what the server has seen, so each
+// Event ships only the delta.
+func (c *Client) OpenSession(req *OpenRequest) (*Session, error) {
+	var resp OpenResponse
+	if err := c.rpc.Call("Decima.Open", req, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, sid: resp.SID, shadow: make(map[int]*shadowJob)}, nil
+}
+
 // Close terminates the connection.
 func (c *Client) Close() error { return c.rpc.Close() }
 
-// RemoteScheduler adapts the client to sim.Scheduler: a local simulation's
-// scheduling events are answered by the remote Decima service, exactly as
-// Spark's DAG schedulers consult the Decima agent in §6.1.
+// shadowStage mirrors the per-stage counters the server knows.
+type shadowStage struct {
+	launched, done, parents, running int
+}
+
+// shadowJob mirrors the per-job state the server knows.
+type shadowJob struct {
+	executors, limit int
+	stages           []shadowStage
+}
+
+// Session is the client half of one v2 scheduling session. It keeps a
+// shadow copy of the state the server has acknowledged; Event diffs the
+// observed cluster state against it and sends only the changes. Not safe
+// for concurrent use — one session drives one cluster's event stream.
+type Session struct {
+	c      *Client
+	sid    uint64
+	seq    uint64
+	shadow map[int]*shadowJob
+}
+
+// SID returns the server-assigned session id.
+func (s *Session) SID() uint64 { return s.sid }
+
+// Event sends the delta between st and the last acknowledged state, and
+// resolves the server's decision against st. The shadow advances only on a
+// successful round trip, so a failed call leaves the session consistent
+// for the error handler to observe.
+func (s *Session) Event(st *sim.State) (*sim.Action, error) {
+	req := s.delta(st)
+	var resp EventResponse
+	if err := s.c.rpc.Call("Decima.Event", req, &resp); err != nil {
+		return nil, err
+	}
+	s.commit(st, req.Seq)
+	return ActionFromResponse(&resp.ScheduleResponse, st)
+}
+
+// Close releases the server-side session.
+func (s *Session) Close() error {
+	var resp CloseResponse
+	return s.c.rpc.Call("Decima.Close", &CloseRequest{SID: s.sid}, &resp)
+}
+
+// delta builds the O(changes) event request for the observed state.
+func (s *Session) delta(st *sim.State) *EventRequest {
+	req := &EventRequest{
+		SID:        s.sid,
+		Seq:        s.seq + 1,
+		Time:       st.Time,
+		JobSeconds: st.JobSeconds,
+		Order:      make([]int, len(st.Jobs)),
+	}
+	jobIdx := make(map[*sim.JobState]int, len(st.Jobs))
+	for i, j := range st.Jobs {
+		jobIdx[j] = i
+		req.Order[i] = j.Job.ID
+		sh := s.shadow[j.Job.ID]
+		if sh == nil {
+			req.NewJobs = append(req.NewJobs, jobInfo(j))
+			continue
+		}
+		d := JobDelta{ID: j.Job.ID, Executors: j.Executors, Limit: j.Limit}
+		changed := sh.executors != j.Executors || sh.limit != j.Limit
+		for si, stg := range j.Stages {
+			if sh.stages[si] != (shadowStage{stg.TasksLaunched, stg.TasksDone, stg.ParentsDone, stg.Running}) {
+				d.Stages = append(d.Stages, StageDelta{
+					Stage:         si,
+					TasksLaunched: stg.TasksLaunched,
+					TasksDone:     stg.TasksDone,
+					ParentsDone:   stg.ParentsDone,
+					Running:       stg.Running,
+				})
+			}
+		}
+		if changed || len(d.Stages) > 0 {
+			req.Deltas = append(req.Deltas, d)
+		}
+	}
+	for _, e := range st.FreeExecutors {
+		local := -1
+		if e.BoundTo != nil {
+			if _, ok := jobIdx[e.BoundTo]; ok {
+				local = e.BoundTo.Job.ID
+			}
+		}
+		req.FreeExecutors = append(req.FreeExecutors, ExecutorInfo{ID: e.ID, Class: e.Class, Mem: e.Mem, LocalJob: local})
+	}
+	return req
+}
+
+// commit advances the shadow to st after the server acknowledged seq.
+func (s *Session) commit(st *sim.State, seq uint64) {
+	s.seq = seq
+	live := make(map[int]bool, len(st.Jobs))
+	for _, j := range st.Jobs {
+		live[j.Job.ID] = true
+		sh := s.shadow[j.Job.ID]
+		if sh == nil {
+			sh = &shadowJob{stages: make([]shadowStage, len(j.Stages))}
+			s.shadow[j.Job.ID] = sh
+		}
+		sh.executors, sh.limit = j.Executors, j.Limit
+		for si, stg := range j.Stages {
+			sh.stages[si] = shadowStage{stg.TasksLaunched, stg.TasksDone, stg.ParentsDone, stg.Running}
+		}
+	}
+	for id := range s.shadow {
+		if !live[id] {
+			delete(s.shadow, id)
+		}
+	}
+}
+
+// jobInfo converts one job's state to the full wire form.
+func jobInfo(j *sim.JobState) JobInfo {
+	ji := JobInfo{ID: j.Job.ID, Arrival: j.Job.Arrival, Executors: j.Executors, Limit: j.Limit}
+	for _, st := range j.Stages {
+		ji.Stages = append(ji.Stages, StageInfo{
+			ID:            st.Stage.ID,
+			NumTasks:      st.Stage.NumTasks,
+			TaskDuration:  st.Stage.TaskDuration,
+			MemReq:        st.Stage.MemReq,
+			CPUReq:        st.Stage.CPUReq,
+			Parents:       st.Stage.Parents,
+			Children:      st.Stage.Children,
+			TasksLaunched: st.TasksLaunched,
+			TasksDone:     st.TasksDone,
+			ParentsDone:   st.ParentsDone,
+			Running:       st.Running,
+		})
+	}
+	return ji
+}
+
+// RemoteScheduler adapts the client to sim.Scheduler over the stateless v1
+// protocol: a local simulation's scheduling events are answered by the
+// remote Decima service, exactly as Spark's DAG schedulers consult the
+// Decima agent in §6.1. Every request carries the full cluster snapshot.
 type RemoteScheduler struct {
 	Client *Client
 	// OnError, when set, receives RPC failures; the scheduler then declines
@@ -60,4 +209,68 @@ func (r *RemoteScheduler) Schedule(s *sim.State) *sim.Action {
 		return nil
 	}
 	return act
+}
+
+// SessionScheduler adapts the client to sim.Scheduler over the v2 session
+// protocol: it opens a session lazily on the first scheduling event (using
+// the cluster constants observed there) and then ships O(delta) event
+// requests, letting the server keep its mirror — and the agent its
+// embedding cache — warm across the whole run. Call Close when the run
+// ends to release the server-side session.
+type SessionScheduler struct {
+	Client *Client
+	// Name selects the server-side policy from the scheduler registry;
+	// empty uses the server's default.
+	Name string
+	// Seed seeds the session's scheduler.
+	Seed int64
+	// OnError, when set, receives RPC failures; the scheduler then declines
+	// to schedule.
+	OnError func(error)
+
+	sess *Session
+}
+
+// Schedule implements sim.Scheduler over the session protocol. When an
+// Event fails — above all because the server evicted the session (LRU
+// bound or idle sweep) — the stale handle is dropped so the next
+// scheduling event transparently reopens: a fresh session's first delta
+// resends every in-system job in full, re-seeding the server-side mirror,
+// so one eviction costs one declined event plus one O(cluster) request,
+// not the rest of the run.
+func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
+	if r.sess == nil {
+		sess, err := r.Client.OpenSession(&OpenRequest{
+			Scheduler:      r.Name,
+			Seed:           r.Seed,
+			TotalExecutors: s.TotalExecutors,
+			MoveDelay:      s.MoveDelay,
+		})
+		if err != nil {
+			if r.OnError != nil {
+				r.OnError(err)
+			}
+			return nil
+		}
+		r.sess = sess
+	}
+	act, err := r.sess.Event(s)
+	if err != nil {
+		r.sess = nil // reopen with a fresh shadow on the next event
+		if r.OnError != nil {
+			r.OnError(err)
+		}
+		return nil
+	}
+	return act
+}
+
+// Close releases the server-side session, if one was opened.
+func (r *SessionScheduler) Close() error {
+	if r.sess == nil {
+		return nil
+	}
+	sess := r.sess
+	r.sess = nil
+	return sess.Close()
 }

@@ -7,8 +7,23 @@
 // class to use.
 //
 // The wire protocol is plain-data structs over stdlib net/rpc with gob
-// encoding. A RemoteScheduler client implements sim.Scheduler, so an entire
-// simulation can be driven by a Decima agent living in another process.
+// encoding, in two flavours:
+//
+//   - v1, stateless: one ScheduleRequest carries the full cluster snapshot,
+//     the server rebuilds the state from scratch and answers. Kept as a
+//     compatibility shim (it now runs as an ephemeral one-event session).
+//   - v2, sessions: OpenSession(scheduler, seed) → sid establishes a
+//     long-lived server-side mirror of the cluster; each Event(sid, delta)
+//     sends only what changed since the previous event (O(delta), not
+//     O(cluster)) and returns the next action; CloseSession(sid) releases
+//     the mirror. Because the server's sim.JobState mirrors persist across
+//     events — with Version bumped exactly on the jobs a delta touches —
+//     the agent's incremental per-job embedding cache is sound in serving,
+//     converting the offline inference fast path into serving throughput.
+//
+// A RemoteScheduler (v1) or SessionScheduler (v2) client implements
+// sim.Scheduler, so an entire simulation can be driven by a Decima agent
+// living in another process.
 package rpcsvc
 
 import (
@@ -72,6 +87,82 @@ type ScheduleResponse struct {
 	Class     int
 }
 
+// --- session protocol (v2) ---
+
+// OpenRequest establishes a scheduling session: a long-lived server-side
+// mirror of one cluster, with one scheduler instance deciding for it.
+type OpenRequest struct {
+	// Scheduler names a policy from the internal/scheduler registry; empty
+	// selects the server's default.
+	Scheduler string
+	// Seed seeds the session's scheduler (Decima action sampling).
+	Seed int64
+	// TotalExecutors and MoveDelay are the cluster constants of the run.
+	TotalExecutors int
+	MoveDelay      float64
+}
+
+// OpenResponse returns the session id for subsequent Event/Close calls.
+type OpenResponse struct {
+	SID uint64
+}
+
+// StageDelta carries one stage's changed runtime counters (absolute new
+// values, not increments — idempotent to apply).
+type StageDelta struct {
+	// Stage indexes into the job's Stages.
+	Stage         int
+	TasksLaunched int
+	TasksDone     int
+	ParentsDone   int
+	Running       int
+}
+
+// JobDelta carries one changed job: its job-level counters (always absolute)
+// and the stages an event touched.
+type JobDelta struct {
+	ID        int
+	Executors int
+	Limit     int
+	Stages    []StageDelta
+}
+
+// EventRequest is one scheduling event under a session: only what changed
+// since the previous event, plus the cheap per-event scalars. Payload size
+// is O(touched state), not O(cluster).
+type EventRequest struct {
+	SID uint64
+	// Seq orders events within the session; the server rejects gaps and
+	// replays (it must be the previous event's Seq + 1).
+	Seq        uint64
+	Time       float64
+	JobSeconds float64
+	// NewJobs carries jobs the server has not seen yet, in full wire form.
+	NewJobs []JobInfo
+	// Order lists every in-system job's ID in observation order (the order
+	// schedulers enumerate candidates in). Jobs previously known to the
+	// server but absent from Order have left the system and are dropped
+	// from the mirror.
+	Order []int
+	// Deltas carries the jobs an event touched.
+	Deltas []JobDelta
+	// FreeExecutors is the currently assignable executor set.
+	FreeExecutors []ExecutorInfo
+}
+
+// EventResponse carries the scheduling decision for one event.
+type EventResponse struct {
+	ScheduleResponse
+}
+
+// CloseRequest releases a session.
+type CloseRequest struct {
+	SID uint64
+}
+
+// CloseResponse acknowledges a close.
+type CloseResponse struct{}
+
 // RequestFromState converts a simulator state into its wire form.
 func RequestFromState(s *sim.State) *ScheduleRequest {
 	req := &ScheduleRequest{
@@ -83,23 +174,7 @@ func RequestFromState(s *sim.State) *ScheduleRequest {
 	jobIdx := make(map[*sim.JobState]int, len(s.Jobs))
 	for i, j := range s.Jobs {
 		jobIdx[j] = i
-		ji := JobInfo{ID: j.Job.ID, Arrival: j.Job.Arrival, Executors: j.Executors, Limit: j.Limit}
-		for _, st := range j.Stages {
-			ji.Stages = append(ji.Stages, StageInfo{
-				ID:            st.Stage.ID,
-				NumTasks:      st.Stage.NumTasks,
-				TaskDuration:  st.Stage.TaskDuration,
-				MemReq:        st.Stage.MemReq,
-				CPUReq:        st.Stage.CPUReq,
-				Parents:       st.Stage.Parents,
-				Children:      st.Stage.Children,
-				TasksLaunched: st.TasksLaunched,
-				TasksDone:     st.TasksDone,
-				ParentsDone:   st.ParentsDone,
-				Running:       st.Running,
-			})
-		}
-		req.Jobs = append(req.Jobs, ji)
+		req.Jobs = append(req.Jobs, jobInfo(j))
 	}
 	for _, e := range s.FreeExecutors {
 		local := -1
@@ -113,8 +188,41 @@ func RequestFromState(s *sim.State) *ScheduleRequest {
 	return req
 }
 
+// jobStateFromInfo materialises one wire-form job as a fresh sim.JobState
+// mirror (static DAG plus runtime counters).
+func jobStateFromInfo(ji *JobInfo) *sim.JobState {
+	job := &dag.Job{ID: ji.ID, Arrival: ji.Arrival}
+	js := &sim.JobState{Job: job, Executors: ji.Executors, Limit: ji.Limit, ExecutorSeconds: map[int]float64{}}
+	for _, si := range ji.Stages {
+		st := &dag.Stage{
+			ID:           si.ID,
+			NumTasks:     si.NumTasks,
+			TaskDuration: si.TaskDuration,
+			MemReq:       si.MemReq,
+			CPUReq:       si.CPUReq,
+			Parents:      si.Parents,
+			Children:     si.Children,
+		}
+		job.Stages = append(job.Stages, st)
+		ss := &sim.StageState{
+			Stage:         st,
+			Job:           js,
+			TasksLaunched: si.TasksLaunched,
+			TasksDone:     si.TasksDone,
+			ParentsDone:   si.ParentsDone,
+			Running:       si.Running,
+			Completed:     si.TasksDone == si.NumTasks,
+		}
+		js.Stages = append(js.Stages, ss)
+		if ss.Completed {
+			js.StagesDone++
+		}
+	}
+	return js
+}
+
 // StateFromRequest reconstructs a sim.State from the wire form so any
-// sim.Scheduler (including the Decima agent) can run server-side.
+// scheduler (including the Decima agent) can run server-side.
 func StateFromRequest(req *ScheduleRequest) *sim.State {
 	s := &sim.State{
 		Time:           req.Time,
@@ -123,36 +231,10 @@ func StateFromRequest(req *ScheduleRequest) *sim.State {
 		MoveDelay:      req.MoveDelay,
 	}
 	byID := make(map[int]*sim.JobState, len(req.Jobs))
-	for _, ji := range req.Jobs {
-		job := &dag.Job{ID: ji.ID, Arrival: ji.Arrival}
-		js := &sim.JobState{Job: job, Executors: ji.Executors, Limit: ji.Limit, ExecutorSeconds: map[int]float64{}}
-		for _, si := range ji.Stages {
-			st := &dag.Stage{
-				ID:           si.ID,
-				NumTasks:     si.NumTasks,
-				TaskDuration: si.TaskDuration,
-				MemReq:       si.MemReq,
-				CPUReq:       si.CPUReq,
-				Parents:      si.Parents,
-				Children:     si.Children,
-			}
-			job.Stages = append(job.Stages, st)
-			ss := &sim.StageState{
-				Stage:         st,
-				Job:           js,
-				TasksLaunched: si.TasksLaunched,
-				TasksDone:     si.TasksDone,
-				ParentsDone:   si.ParentsDone,
-				Running:       si.Running,
-				Completed:     si.TasksDone == si.NumTasks,
-			}
-			js.Stages = append(js.Stages, ss)
-			if ss.Completed {
-				js.StagesDone++
-			}
-		}
+	for i := range req.Jobs {
+		js := jobStateFromInfo(&req.Jobs[i])
 		s.Jobs = append(s.Jobs, js)
-		byID[ji.ID] = js
+		byID[js.Job.ID] = js
 	}
 	for _, ei := range req.FreeExecutors {
 		e := &sim.Executor{ID: ei.ID, Class: ei.Class, Mem: ei.Mem}

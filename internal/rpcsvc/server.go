@@ -1,43 +1,229 @@
 package rpcsvc
 
 import (
+	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 )
 
-// Decima is the RPC service object. Method signatures follow net/rpc
-// conventions; clients call "Decima.Schedule".
-type Decima struct {
-	mu    sync.Mutex
-	sched sim.Scheduler
+// SessionConfig parameterises the session-serving side of a server.
+type SessionConfig struct {
+	// Default names the registry scheduler used when OpenRequest.Scheduler
+	// is empty. Ignored when New is set and handles the empty name itself.
+	Default string
+	// New mints one fresh scheduler per session (and per stateless shim
+	// request). name is the client-requested registry name after defaulting;
+	// seed is the client's session seed. Nil falls back to
+	// scheduler.New(name, scheduler.Options{Seed: seed}).
+	New func(name string, seed int64) (scheduler.Scheduler, error)
+	// MaxSessions bounds concurrent sessions; the least recently used is
+	// evicted beyond it. 0 selects DefaultMaxSessions, negative disables
+	// the bound.
+	MaxSessions int
+	// IdleTimeout evicts sessions with no event for this long. 0 selects
+	// DefaultIdleTimeout, negative disables idle eviction.
+	IdleTimeout time.Duration
 }
 
-// NewDecima wraps any sim.Scheduler (typically the core agent) as the RPC
-// service object.
-func NewDecima(sched sim.Scheduler) *Decima { return &Decima{sched: sched} }
+// DefaultMaxSessions bounds the session table when SessionConfig leaves
+// MaxSessions zero.
+const DefaultMaxSessions = 256
 
-// Schedule is the RPC entry point: it reconstructs the cluster state from
-// the wire form, delegates to the wrapped scheduler, and encodes the
-// decision. The mutex serialises decisions because the underlying agent is
-// stateful (sampling RNG) and not concurrency-safe.
-//
-// A served agent takes the inference fast path on its own (its Hook is
-// nil), so requests run the no-grad fused forward without any wrapping
-// here. Deliberately no nn.Inference scope: Decima wraps an *arbitrary*
-// scheduler, and force-detaching gradients would silently break a future
-// caller that serves a tracked agent (e.g. logging differentiable Steps
-// for imitation training). The agent's embedding cache cannot help in
-// serving — the state is rebuilt from the wire each request — so
-// cmd/decima-server disables it.
-func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	st := StateFromRequest(req)
-	*resp = *ResponseFromAction(d.sched.Schedule(st))
+// DefaultIdleTimeout sweeps sessions when SessionConfig leaves IdleTimeout
+// zero.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// Decima is the RPC service object. Method signatures follow net/rpc
+// conventions; clients call "Decima.Open" / "Decima.Event" /
+// "Decima.Close" (the session protocol) or "Decima.Schedule" (the
+// stateless compatibility shim).
+type Decima struct {
+	factory func(name string, seed int64) (scheduler.Scheduler, error)
+	// shared + sharedMu back the legacy single-instance mode, where every
+	// session (and every stateless request) decides on the one scheduler
+	// the server was built around.
+	shared   scheduler.Scheduler
+	sharedMu sync.Mutex
+	defName  string
+	// shim + shimMu back the stateless v1 endpoint in factory mode: one
+	// lazily built default scheduler shared (serialised) across stateless
+	// requests, so the shim costs one decision per request — not one
+	// scheduler construction (for decima, a full parameter copy) each time.
+	shim   scheduler.Scheduler
+	shimMu sync.Mutex
+	tbl    *sessionTable
+}
+
+// NewDecima wraps one scheduler instance as the service object: all
+// sessions and stateless requests share it, serialised by an internal
+// mutex. Prefer NewDecimaSessions for serving at concurrency.
+func NewDecima(s sim.Scheduler) *Decima {
+	return &Decima{
+		shared: scheduler.FromSim(s),
+		tbl:    newSessionTable(DefaultMaxSessions, DefaultIdleTimeout),
+	}
+}
+
+// NewDecimaSessions builds the service object for per-session scheduler
+// instances minted by cfg.New (or the scheduler registry).
+func NewDecimaSessions(cfg SessionConfig) *Decima {
+	max := cfg.MaxSessions
+	switch {
+	case max == 0:
+		max = DefaultMaxSessions
+	case max < 0:
+		max = 0 // unbounded
+	}
+	idle := cfg.IdleTimeout
+	switch {
+	case idle == 0:
+		idle = DefaultIdleTimeout
+	case idle < 0:
+		idle = 0 // never
+	}
+	factory := cfg.New
+	if factory == nil {
+		factory = func(name string, seed int64) (scheduler.Scheduler, error) {
+			return scheduler.New(name, scheduler.Options{Seed: seed})
+		}
+	}
+	return &Decima{factory: factory, defName: cfg.Default, tbl: newSessionTable(max, idle)}
+}
+
+// newScheduler mints the scheduler for one session (or one stateless
+// request). In legacy mode it returns the shared instance plus the mutex
+// serialising decisions on it.
+func (d *Decima) newScheduler(name string, seed int64) (scheduler.Scheduler, *sync.Mutex, error) {
+	if d.shared != nil {
+		return d.shared, &d.sharedMu, nil
+	}
+	if name == "" {
+		name = d.defName
+	}
+	if name == "" {
+		return nil, nil, fmt.Errorf("rpcsvc: no scheduler named in request and no server default")
+	}
+	s, err := d.factory(name, seed)
+	return s, nil, err
+}
+
+// Open is the session-protocol entry point: it establishes a server-side
+// cluster mirror with its own scheduler instance and returns the session
+// id. Sessions are bounded (LRU) and idle-swept; an evicted session's next
+// Event fails, telling the client to reopen.
+func (d *Decima) Open(req *OpenRequest, resp *OpenResponse) error {
+	sched, decideMu, err := d.newScheduler(req.Scheduler, req.Seed)
+	if err != nil {
+		return err
+	}
+	sess := &session{
+		sched:     sched,
+		decideMu:  decideMu,
+		total:     req.TotalExecutors,
+		moveDelay: req.MoveDelay,
+		jobs:      make(map[int]*sim.JobState),
+		execs:     make(map[int]*sim.Executor),
+	}
+	sid, evicted := d.tbl.add(sess)
+	resetAll(evicted)
+	resp.SID = sid
 	return nil
+}
+
+// Event applies one state delta to the session's mirror and returns the
+// scheduler's decision for the event.
+func (d *Decima) Event(req *EventRequest, resp *EventResponse) error {
+	sess, evicted, err := d.tbl.get(req.SID)
+	resetAll(evicted)
+	if err != nil {
+		return err
+	}
+	r, err := sess.event(req)
+	if err != nil {
+		return err
+	}
+	resp.ScheduleResponse = *r
+	return nil
+}
+
+// Close releases a session. Closing an unknown (already evicted) session is
+// not an error.
+func (d *Decima) Close(req *CloseRequest, resp *CloseResponse) error {
+	if sess := d.tbl.remove(req.SID); sess != nil {
+		sess.reset()
+	}
+	return nil
+}
+
+// Schedule is the stateless v1 entry point, kept as a compatibility shim:
+// the full snapshot becomes an ephemeral one-event session (fresh scheduler,
+// fresh mirror, immediately discarded), so both protocols decide through
+// exactly the same code path. Ephemeral sessions never enter the session
+// table — stateless traffic cannot evict long-lived sessions.
+//
+// Because the state is rebuilt from the wire each request, nothing persists
+// between calls on this path (in particular no embedding-cache hits); the
+// session protocol exists precisely to lift that.
+func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
+	sched, decideMu, err := d.shimScheduler()
+	if err != nil {
+		return err
+	}
+	sess := &session{
+		sched:     sched,
+		decideMu:  decideMu,
+		total:     req.TotalExecutors,
+		moveDelay: req.MoveDelay,
+		jobs:      make(map[int]*sim.JobState),
+		execs:     make(map[int]*sim.Executor),
+	}
+	ev := &EventRequest{
+		Seq:           1,
+		Time:          req.Time,
+		JobSeconds:    req.JobSeconds,
+		NewJobs:       req.Jobs,
+		FreeExecutors: req.FreeExecutors,
+	}
+	for i := range req.Jobs {
+		ev.Order = append(ev.Order, req.Jobs[i].ID)
+	}
+	r, err := sess.event(ev)
+	if err != nil {
+		return err
+	}
+	*resp = *r
+	return nil
+}
+
+// shimScheduler returns the scheduler backing the stateless endpoint: the
+// legacy shared instance, or (in factory mode) one default-policy instance
+// built on first use and reused — serialised by shimMu either way.
+func (d *Decima) shimScheduler() (scheduler.Scheduler, *sync.Mutex, error) {
+	if d.shared != nil {
+		return d.shared, &d.sharedMu, nil
+	}
+	d.shimMu.Lock()
+	defer d.shimMu.Unlock()
+	if d.shim == nil {
+		s, _, err := d.newScheduler("", 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.shim = s
+	}
+	return d.shim, &d.shimMu, nil
+}
+
+// resetAll resets evicted sessions outside the table lock.
+func resetAll(ss []*session) {
+	for _, s := range ss {
+		s.reset()
+	}
 }
 
 // Server is a listening Decima scheduling service.
@@ -45,6 +231,7 @@ type Server struct {
 	lis  net.Listener
 	rpcS *rpc.Server
 	wg   sync.WaitGroup
+	svc  *Decima
 
 	mu     sync.Mutex
 	closed bool
@@ -53,22 +240,40 @@ type Server struct {
 
 // ListenAndServe starts serving the given scheduler on addr (e.g.
 // "127.0.0.1:0") and returns immediately; connections are handled on
-// background goroutines until Close.
+// background goroutines until Close. Every session and stateless request
+// shares the one scheduler instance, serialised by an internal mutex — the
+// legacy single-agent deployment. Use ListenAndServeSessions for
+// per-session scheduler instances.
 func ListenAndServe(addr string, sched sim.Scheduler) (*Server, error) {
+	return listen(addr, NewDecima(sched))
+}
+
+// ListenAndServeSessions starts a session-serving scheduling service:
+// every session gets its own scheduler instance from cfg.New (or the
+// scheduler registry), so sessions decide concurrently.
+func ListenAndServeSessions(addr string, cfg SessionConfig) (*Server, error) {
+	return listen(addr, NewDecimaSessions(cfg))
+}
+
+func listen(addr string, svc *Decima) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	rpcS := rpc.NewServer()
-	if err := rpcS.RegisterName("Decima", NewDecima(sched)); err != nil {
+	if err := rpcS.RegisterName("Decima", svc); err != nil {
 		lis.Close()
 		return nil, err
 	}
-	s := &Server{lis: lis, rpcS: rpcS, conns: make(map[net.Conn]struct{})}
+	s := &Server{lis: lis, rpcS: rpcS, svc: svc, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// Sessions reports the number of live sessions (for tests and ops
+// introspection).
+func (s *Server) Sessions() int { return s.svc.tbl.len() }
 
 // acceptLoop serves connections until the listener closes.
 func (s *Server) acceptLoop() {

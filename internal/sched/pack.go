@@ -31,6 +31,12 @@ type Tetris struct{}
 // NewTetris returns a Tetris packer.
 func NewTetris() *Tetris { return &Tetris{} }
 
+// Decide implements the unified scheduler contract.
+func (t *Tetris) Decide(s *sim.State) (*sim.Action, error) { return t.Schedule(s), nil }
+
+// Reset is a no-op: Tetris keeps no per-run state.
+func (t *Tetris) Reset() {}
+
 // Schedule implements sim.Scheduler.
 func (t *Tetris) Schedule(s *sim.State) *sim.Action {
 	// Available resources per class.
@@ -109,6 +115,17 @@ func NewGraphene(cfg GrapheneConfig) *Graphene {
 		cache:   newCPCache(),
 		trouble: make(map[*sim.JobState]map[int]bool),
 	}
+}
+
+// Decide implements the unified scheduler contract.
+func (g *Graphene) Decide(s *sim.State) (*sim.Action, error) { return g.Schedule(s), nil }
+
+// Reset clears the critical-path and troublesome-stage caches for a fresh
+// run.
+func (g *Graphene) Reset() {
+	g.cache.reset()
+	g.fair.Reset()
+	g.trouble = make(map[*sim.JobState]map[int]bool)
 }
 
 // troublesome returns (and caches) the job's troublesome stage set.

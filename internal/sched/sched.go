@@ -5,9 +5,11 @@
 // fixed-job-order scheduler used by the exhaustive-search optimality study
 // (Appendix H) and a random scheduler for tests.
 //
-// All schedulers implement sim.Scheduler and are stateless across runs
-// except for cached per-job critical paths; create a fresh instance per
-// simulation.
+// Every scheduler implements both sim.Scheduler (Schedule, for driving a
+// simulation directly) and the unified internal/scheduler contract
+// (Decide/Reset, for registry-based selection and serving). The only
+// cross-run state is the per-job critical-path cache, which Reset clears;
+// either create a fresh instance per simulation or Reset between runs.
 package sched
 
 import (
@@ -23,6 +25,10 @@ type cpCache struct {
 }
 
 func newCPCache() *cpCache { return &cpCache{m: make(map[*sim.JobState][]float64)} }
+
+// reset drops all memoized critical paths (and with them the references to
+// the previous run's job states).
+func (c *cpCache) reset() { c.m = make(map[*sim.JobState][]float64) }
 
 // get returns the downstream-critical-path value per stage of j's job.
 func (c *cpCache) get(j *sim.JobState) []float64 {
@@ -59,6 +65,12 @@ type FIFO struct{ cache *cpCache }
 // NewFIFO returns a FIFO scheduler.
 func NewFIFO() *FIFO { return &FIFO{cache: newCPCache()} }
 
+// Decide implements the unified scheduler contract.
+func (f *FIFO) Decide(s *sim.State) (*sim.Action, error) { return f.Schedule(s), nil }
+
+// Reset clears the critical-path cache for a fresh run.
+func (f *FIFO) Reset() { f.cache.reset() }
+
 // Schedule implements sim.Scheduler.
 func (f *FIFO) Schedule(s *sim.State) *sim.Action {
 	for _, j := range s.Jobs { // arrival order
@@ -76,6 +88,12 @@ type SJFCP struct{ cache *cpCache }
 
 // NewSJFCP returns an SJF-CP scheduler.
 func NewSJFCP() *SJFCP { return &SJFCP{cache: newCPCache()} }
+
+// Decide implements the unified scheduler contract.
+func (f *SJFCP) Decide(s *sim.State) (*sim.Action, error) { return f.Schedule(s), nil }
+
+// Reset clears the critical-path cache for a fresh run.
+func (f *SJFCP) Reset() { f.cache.reset() }
 
 // Schedule implements sim.Scheduler.
 func (f *SJFCP) Schedule(s *sim.State) *sim.Action {
@@ -169,6 +187,12 @@ func roundRobinStage(s *sim.State, j *sim.JobState) *sim.StageState {
 	return best
 }
 
+// Decide implements the unified scheduler contract.
+func (f *WeightedFair) Decide(s *sim.State) (*sim.Action, error) { return f.Schedule(s), nil }
+
+// Reset clears the critical-path cache for a fresh run.
+func (f *WeightedFair) Reset() { f.cache.reset() }
+
 // Schedule implements sim.Scheduler.
 func (f *WeightedFair) Schedule(s *sim.State) *sim.Action {
 	shares := f.shares(s)
@@ -219,6 +243,12 @@ func NewFixedOrder(order []int) *FixedOrder {
 	return &FixedOrder{Order: order, cache: newCPCache()}
 }
 
+// Decide implements the unified scheduler contract.
+func (f *FixedOrder) Decide(s *sim.State) (*sim.Action, error) { return f.Schedule(s), nil }
+
+// Reset clears the critical-path cache for a fresh run.
+func (f *FixedOrder) Reset() { f.cache.reset() }
+
 // Schedule implements sim.Scheduler.
 func (f *FixedOrder) Schedule(s *sim.State) *sim.Action {
 	pos := make(map[int]int, len(f.Order))
@@ -251,6 +281,13 @@ type Random struct{ Rng *rand.Rand }
 
 // NewRandom returns a random scheduler.
 func NewRandom(rng *rand.Rand) *Random { return &Random{Rng: rng} }
+
+// Decide implements the unified scheduler contract.
+func (r *Random) Decide(s *sim.State) (*sim.Action, error) { return r.Schedule(s), nil }
+
+// Reset is a no-op: Random keeps no per-run state (the RNG deliberately
+// keeps drawing).
+func (r *Random) Reset() {}
 
 // Schedule implements sim.Scheduler.
 func (r *Random) Schedule(s *sim.State) *sim.Action {

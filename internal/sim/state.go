@@ -91,6 +91,15 @@ type JobState struct {
 // missing a mutation is not.
 func (j *JobState) touch() { j.Version++ }
 
+// Touch records an externally applied mutation, bumping Version exactly
+// like the simulator's internal mutation paths. Code that maintains a
+// mirror of cluster state outside the simulator — the RPC session server
+// applying event deltas — calls it after every change it applies so that
+// Version-keyed caches (the agent's embedding cache) stay sound. The same
+// rule applies: a spurious bump is harmless, a missing one is a
+// correctness bug.
+func (j *JobState) Touch() { j.touch() }
+
 // RunnableStages returns the job's currently runnable stages.
 func (j *JobState) RunnableStages() []*StageState {
 	var out []*StageState
