@@ -31,14 +31,20 @@ bench:
 # v1 protocol (state rebuilt per request, cache can't hit) vs the v2
 # session protocol (server-side mirror, embedding cache on); the "ns/event"
 # extra metric is the comparison that matters.
+# BENCH_training.json: full training-iteration cost (inference rollouts +
+# episode replay backward) on the batched replay vs the per-decision
+# direct-tape reference; ns/op, allocs/op and the "episodes/sec" extra
+# metric are the numbers the ≥3× training-throughput bar is judged on.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferenceDecision' -benchtime=200x ./internal/core/ > bench-core.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig9a$$' -benchtime=1x . > bench-fig9a.out
 	cat bench-core.out bench-fig9a.out | $(GO) run ./cmd/benchjson > BENCH_inference.json
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime=5x ./internal/rpcsvc/ > bench-serving.out
 	cat bench-serving.out | $(GO) run ./cmd/benchjson > BENCH_serving.json
-	@rm -f bench-core.out bench-fig9a.out bench-serving.out
-	@cat BENCH_inference.json BENCH_serving.json
+	$(GO) test -run '^$$' -bench 'BenchmarkTrainIteration' -benchtime=5x ./internal/rl/ > bench-training.out
+	cat bench-training.out | $(GO) run ./cmd/benchjson > BENCH_training.json
+	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out
+	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json
 
 # End-to-end smoke of the serving binary: build decima-server, start it as
 # a real process, open a session over TCP, drive ≥100 scheduling events,

@@ -105,16 +105,27 @@ type Agent struct {
 	// bit-identical with the cache on or off; the switch exists for the
 	// equivalence tests and benchmarks that prove it.
 	NoCache bool
+	// Record, when set, receives a replay record for every fast-path
+	// decision (it is never called on the tracked Hook path). The training
+	// fast path rolls episodes out with Hook nil and Record set, then
+	// rebuilds the gradient graph from the records (see replay.go). The
+	// record's Graphs slice aliases agent-owned scratch that is overwritten
+	// by the next decision — a recorder that retains the step must copy it;
+	// the *gnn.Graph values themselves are stable and shared across steps
+	// whenever a job's cache key was unchanged.
+	Record func(ReplayStep)
 
 	rng *rand.Rand
 
 	// Fast-path state: the scratch arena backing one decision's tensors and
 	// the per-job embedding cache (see cache.go). Private to the agent, so
 	// concurrent agents (e.g. parallel evaluation workers holding clones)
-	// never share mutable state.
+	// never share mutable state. recGraphs is the per-decision graph list
+	// handed to Record, reused across decisions.
 	scratch   nn.Scratch
 	cache     map[*sim.JobState]*embEntry
 	embedPass uint64
+	recGraphs []*gnn.Graph
 }
 
 // New builds an agent with freshly initialised networks.
@@ -265,6 +276,11 @@ func (a *Agent) embed(s *sim.State) *gnn.Embeddings {
 	for i, j := range s.Jobs {
 		graphs[i] = gnn.NewGraph(j.Job, a.Features(s, j))
 	}
+	if a.Record != nil {
+		// The GNN ablation reaches here from the fast path too; stash the
+		// observation so the decision can be recorded for replay.
+		a.recGraphs = append(a.recGraphs[:0], graphs...)
+	}
 	if a.GNN != nil {
 		return a.GNN.Forward(graphs)
 	}
@@ -321,10 +337,27 @@ func (a *Agent) Schedule(s *sim.State) *sim.Action {
 	var dec policy.Decision
 	if a.Hook == nil {
 		// Inference fast path: no gradient will ever be taken from this
-		// decision, so skip the autograd graph, fuse the MLP forwards, and
-		// reuse cached per-job embeddings. Bit-identical to the tracked
-		// path below (same scores, same RNG consumption, same action).
+		// decision *now*, so skip the autograd graph, fuse the MLP forwards,
+		// and reuse cached per-job embeddings. Bit-identical to the tracked
+		// path below (same scores, same RNG consumption, same action). When
+		// Record is set, the decision's observation and sampled action are
+		// captured so training can rebuild the gradient graph in a batched
+		// replay instead.
 		dec = a.Pol.DecideInference(a.embedInference(s), req, a.rng, &a.scratch)
+		if a.Record != nil {
+			a.Record(ReplayStep{
+				Graphs:     a.recGraphs,
+				Cands:      cands,
+				MinLimits:  minLimits,
+				ClassOKs:   classOKs,
+				Choice:     dec.Choice,
+				Limit:      dec.Limit,
+				Class:      dec.Class,
+				Time:       s.Time,
+				JobSeconds: s.JobSeconds,
+				NumJobs:    len(s.Jobs),
+			})
+		}
 	} else {
 		dec = a.Pol.Decide(a.embed(s), req, a.rng)
 		a.Hook(&Step{

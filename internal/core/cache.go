@@ -33,6 +33,11 @@ type embEntry struct {
 	nodes     *nn.Tensor
 	jobRow    []float64
 	pass      uint64 // last embed pass that referenced the entry
+	// graph is the observation the entry was computed from, retained only
+	// while Record is set: handing the same *gnn.Graph to every decision
+	// that hits the entry is what lets the training replay deduplicate
+	// identical observations across an episode.
+	graph *gnn.Graph
 }
 
 // embedInference produces embeddings on the no-grad fast path, re-embedding
@@ -56,6 +61,10 @@ func (a *Agent) embedInference(s *sim.State) *gnn.Embeddings {
 	a.embedPass++
 	emb := &gnn.Embeddings{Nodes: make([]*nn.Tensor, len(s.Jobs))}
 	jobs := a.scratch.AllocTensor(len(s.Jobs), d)
+	recording := a.Record != nil
+	if recording {
+		a.recGraphs = a.recGraphs[:0]
+	}
 	for i, j := range s.Jobs {
 		freeTotal, local := featureKeyInputs(s, j)
 		ent := a.cache[j]
@@ -67,6 +76,9 @@ func (a *Agent) embedInference(s *sim.State) *gnn.Embeddings {
 			if a.NoCache {
 				// Nothing outlives the decision, so the arena-backed tensors
 				// are used directly — no heap copies.
+				if recording {
+					a.recGraphs = append(a.recGraphs, gr)
+				}
 				emb.Nodes[i] = nodes
 				copy(jobs.Data[i*d:(i+1)*d], row.Data)
 				continue
@@ -80,7 +92,19 @@ func (a *Agent) embedInference(s *sim.State) *gnn.Embeddings {
 				nodes:     nodes.Clone(),
 				jobRow:    append([]float64(nil), row.Data...),
 			}
+			if recording {
+				ent.graph = gr
+			}
 			a.cache[j] = ent
+		}
+		if recording {
+			if ent.graph == nil {
+				// The entry predates recording (Record toggled mid-run);
+				// rebuild the observation — the cache key guarantees the
+				// features are identical to the cached embedding's.
+				ent.graph = gnn.NewGraph(j.Job, a.Features(s, j))
+			}
+			a.recGraphs = append(a.recGraphs, ent.graph)
 		}
 		ent.pass = a.embedPass
 		emb.Nodes[i] = ent.nodes

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/gnn"
+	"repro/internal/nn"
+	"repro/internal/policy"
+)
+
+// The training fast path's episode replay.
+//
+// Training rollouts run on the inference fast path (no autograd graph, fused
+// forwards, incremental embedding cache) and record, per decision, only what
+// the backward pass needs to rebuild the tracked computation later: the
+// observed per-job graph snapshots, the candidate set and masks, and the
+// sampled action. Because the inference forward is bit-identical to the
+// tracked forward, replaying a record reproduces the exact log-probabilities
+// the action was sampled from.
+//
+// The replay dedupes graph observations by pointer: the recorder hands out
+// one *gnn.Graph per distinct (job, Version, freeTotal, local) observation
+// (riding on the embedding cache), so a job untouched across many decisions
+// is embedded once per episode during replay instead of once per decision —
+// the same sharing that makes the inference cache fast, now applied to the
+// gradient graph, where it is equally exact (the shared subgraph's gradient
+// accumulates over all its uses).
+
+// ReplayStep records one fast-path decision for training replay. The slices
+// are owned by the step (the recorder must hand out stable storage; see
+// Agent.Record for the Graphs caveat).
+type ReplayStep struct {
+	// Graphs holds the per-job observation at decision time, indexed like
+	// the observed State.Jobs. Steps share *gnn.Graph pointers whenever a
+	// job's cache key was unchanged between decisions.
+	Graphs []*gnn.Graph
+	// Cands, MinLimits and ClassOKs are the policy request's candidate set
+	// and masks, exactly as scored.
+	Cands     []policy.Candidate
+	MinLimits []int
+	ClassOKs  [][]bool
+	// Choice, Limit and Class pin the sampled action (Limit before any
+	// NoParallelismControl override; Class is -1 without the class head).
+	Choice int
+	Limit  int
+	Class  int
+	// Time, JobSeconds and NumJobs are the reward bookkeeping of §5.3,
+	// mirroring Step.
+	Time       float64
+	JobSeconds float64
+	NumJobs    int
+}
+
+// replayPlan resolves an episode's records into replay coordinates: the
+// deduplicated graph list (first-seen order, so the plan is identical for
+// any worker count) and per-step policy views.
+func replayPlan(steps []ReplayStep, wLogp, wEnt []float64) (unique []*gnn.Graph, flat, seg []int, psteps []policy.ReplayStep) {
+	ids := make(map[*gnn.Graph]int)
+	psteps = make([]policy.ReplayStep, len(steps))
+	for k := range steps {
+		st := &steps[k]
+		gids := make([]int, len(st.Graphs))
+		for j, gr := range st.Graphs {
+			id, ok := ids[gr]
+			if !ok {
+				id = len(unique)
+				ids[gr] = id
+				unique = append(unique, gr)
+			}
+			gids[j] = id
+			flat = append(flat, id)
+			seg = append(seg, k)
+		}
+		psteps[k] = policy.ReplayStep{
+			Gids:      gids,
+			Cands:     st.Cands,
+			MinLimits: st.MinLimits,
+			ClassOKs:  st.ClassOKs,
+			Choice:    st.Choice,
+			Limit:     st.Limit,
+			Class:     st.Class,
+			WLogp:     wLogp[k],
+			WEnt:      wEnt[k],
+		}
+	}
+	return unique, flat, seg, psteps
+}
+
+// ReplayLoss rebuilds the tracked computation for an episode's recorded
+// decisions in one batched forward — a multi-graph level-batched GNN pass
+// over the episode's distinct job observations, batched per-decision global
+// summaries, and stacked policy heads — and returns the differentiable
+// REINFORCE loss Σ_k wLogp[k]·logπ(a_k) + wEnt[k]·H_k together with each
+// step's (log-prob, entropy) values. The caller seeds Backward(1) on the
+// loss exactly once.
+func (a *Agent) ReplayLoss(steps []ReplayStep, wLogp, wEnt []float64) (*nn.Tensor, []policy.StepVals) {
+	unique, flat, seg, psteps := replayPlan(steps, wLogp, wEnt)
+	if a.GNN != nil {
+		batch := a.GNN.ForwardBatch(unique)
+		globals := a.GNN.GlobalsBatch(batch.Jobs, flat, seg, len(steps))
+		return a.Pol.ReplayLoss(batch.Nodes, batch.Off, batch.Jobs, globals, a.Cfg.ClassMem, psteps)
+	}
+	// GNN ablation: raw features stand in for node embeddings and the job
+	// and global summaries are zero, exactly as in embed/embedInference.
+	d := a.Cfg.FeatDim()
+	off := make([]int, len(unique))
+	feats := make([]*nn.Tensor, len(unique))
+	total := 0
+	for i, gr := range unique {
+		off[i] = total
+		total += gr.Feats.Rows
+		feats[i] = gr.Feats
+	}
+	nodes := nn.ConcatRows(feats...)
+	return a.Pol.ReplayLoss(nodes, off, nn.Zeros(len(unique), d), nn.Zeros(len(steps), d), a.Cfg.ClassMem, psteps)
+}
+
+// ReplayLossDirect is the direct-tape reference for ReplayLoss: it rebuilds
+// every decision separately through the generic tracked ops (GNN.Forward +
+// Policy.ReplayDecision — the exact graph the pre-replay trainer built
+// during rollouts) and assembles the same loss. Per-step log-probabilities
+// and entropies are bit-identical to ReplayLoss; the accumulated gradient is
+// the same mathematical quantity summed in a different floating-point order
+// (per decision instead of per batched op), so parameters agree to numerical
+// precision rather than bit-for-bit. Tests use it to pin the batched path;
+// benchmarks use it as the pre-change cost model.
+func (a *Agent) ReplayLossDirect(steps []ReplayStep, wLogp, wEnt []float64) (*nn.Tensor, []policy.StepVals) {
+	vals := make([]policy.StepVals, len(steps))
+	var loss *nn.Tensor
+	for k := range steps {
+		st := &steps[k]
+		var emb *gnn.Embeddings
+		if a.GNN != nil {
+			emb = a.GNN.Forward(st.Graphs)
+		} else {
+			d := a.Cfg.FeatDim()
+			emb = &gnn.Embeddings{Jobs: nn.Zeros(len(st.Graphs), d), Global: nn.Zeros(1, d)}
+			for _, gr := range st.Graphs {
+				emb.Nodes = append(emb.Nodes, gr.Feats)
+			}
+		}
+		req := policy.Request{
+			Cands:     st.Cands,
+			MinLimits: st.MinLimits,
+			ClassMem:  a.Cfg.ClassMem,
+		}
+		if st.ClassOKs != nil {
+			req.ClassOKPer = st.ClassOKs
+		}
+		dec := a.Pol.ReplayDecision(emb, req, st.Choice, st.Limit, st.Class)
+		vals[k] = policy.StepVals{LogProb: dec.LogProb.Value(), Entropy: dec.Entropy.Value()}
+		term := nn.Add(nn.Scale(dec.LogProb, wLogp[k]), nn.Scale(dec.Entropy, wEnt[k]))
+		if loss == nil {
+			loss = term
+		} else {
+			loss = nn.Add(loss, term)
+		}
+	}
+	return loss, vals
+}

@@ -1,0 +1,115 @@
+package gnn
+
+import "repro/internal/nn"
+
+// This file is the GNN's batched replay forward: the tracked (differentiable)
+// counterpart of ForwardInference for *many graphs at once*. The training
+// fast path rolls episodes out with no autograd graph and replays each
+// episode's decisions in one batch; the replay stacks every distinct job-DAG
+// observation of the episode into a single multi-graph message-passing pass,
+// so each f/g transformation runs once per *level across all graphs* instead
+// of once per level per job per decision.
+//
+// Values are bit-identical to embedding each graph separately (EmbedNodes /
+// EmbedNodesInference): message passing only ever flows inside one graph, a
+// node's row is computed by row-independent MLP arithmetic, and each
+// segment-sum accumulates a node's children in the same order as the
+// per-graph pass — batching changes which rows share a matmul call, never
+// the arithmetic a row sees.
+
+// Batch is the stacked embedding of several graphs.
+type Batch struct {
+	// Nodes is the totalNodes×D stacked node-embedding matrix; graph g's
+	// rows are Nodes[Off[g] : Off[g]+len(g.Heights)].
+	Nodes *nn.Tensor
+	// Off holds each graph's first row in Nodes.
+	Off []int
+	// Jobs is the nGraphs×D per-graph summary matrix (one y_i row per
+	// graph, in input order).
+	Jobs *nn.Tensor
+}
+
+// ForwardBatch embeds all graphs in one level-batched tracked pass,
+// producing node embeddings and per-graph summaries bit-identical to
+// running Forward on each graph separately.
+func (g *GNN) ForwardBatch(graphs []*Graph) *Batch {
+	if len(graphs) == 0 {
+		panic("gnn: ForwardBatch of no graphs")
+	}
+	off := make([]int, len(graphs))
+	total, maxH := 0, 0
+	feats := make([]*nn.Tensor, len(graphs))
+	for i, gr := range graphs {
+		off[i] = total
+		total += len(gr.Heights)
+		feats[i] = gr.Feats
+		for _, h := range gr.Heights {
+			if h > maxH {
+				maxH = h
+			}
+		}
+	}
+	allFeats := nn.ConcatRows(feats...)
+	x := g.Prep.Forward(allFeats) // total×D projected features
+	e := x
+	for h := 1; h <= maxH; h++ {
+		// Gather this level's parents — across every graph, in graph order —
+		// and their children, all in stacked row coordinates.
+		var parents []int
+		var childIdx []int
+		var seg []int
+		for gi, gr := range graphs {
+			base := off[gi]
+			for v, hv := range gr.Heights {
+				if hv != h {
+					continue
+				}
+				pi := len(parents)
+				parents = append(parents, base+v)
+				for _, c := range gr.Children[v] {
+					childIdx = append(childIdx, base+c)
+					seg = append(seg, pi)
+				}
+			}
+		}
+		if len(parents) == 0 {
+			continue
+		}
+		msgs := g.FNode.Forward(nn.GatherRows(e, childIdx))
+		agg := nn.SegmentSum(msgs, seg, len(parents))
+		if !g.Cfg.SingleLevel {
+			agg = g.GNode.Forward(agg)
+		}
+		rows := nn.Add(agg, nn.GatherRows(x, parents))
+		e = nn.ScatterRows(e, parents, rows)
+	}
+	// Per-graph summaries: one FJob pass over every (x_v, e_v) pair, summed
+	// per graph (same row order as the per-graph SumRows), one GJob pass
+	// over the stacked per-graph aggregates.
+	graphSeg := make([]int, total)
+	for gi := range graphs {
+		end := total
+		if gi+1 < len(graphs) {
+			end = off[gi+1]
+		}
+		for r := off[gi]; r < end; r++ {
+			graphSeg[r] = gi
+		}
+	}
+	pair := nn.ConcatCols(allFeats, e)
+	sums := nn.SegmentSum(g.FJob.Forward(pair), graphSeg, len(graphs))
+	return &Batch{Nodes: e, Off: off, Jobs: g.GJob.Forward(sums)}
+}
+
+// GlobalsBatch computes one global summary row per decision from the
+// batched per-graph summaries: flat lists, for every decision in turn, the
+// Jobs-row index of each job present in that decision's state (in job
+// order), and seg maps each entry to its decision. The result row k is
+// bit-identical to GlobalInference over decision k's per-job matrix: FGlob
+// is row-independent (computed once per distinct job row instead of once
+// per decision) and the per-decision segment sum adds rows in job order.
+func (g *GNN) GlobalsBatch(jobs *nn.Tensor, flat, seg []int, nDecisions int) *nn.Tensor {
+	fg := g.FGlob.Forward(jobs)
+	sums := nn.SegmentSum(nn.GatherRows(fg, flat), seg, nDecisions)
+	return g.GGlob.Forward(sums)
+}

@@ -1,0 +1,86 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/nn"
+)
+
+// TestForwardBatchBitIdentical is the batched replay forward's equivalence
+// bar: embedding many graphs in one multi-graph level-batched pass must
+// produce node embeddings and per-graph summaries bit-identical to running
+// Forward on the graphs one at a time.
+func TestForwardBatchBitIdentical(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		g := testGNN(rng)
+		var graphs []*Graph
+		nGraphs := 1 + rng.Intn(6)
+		for i := 0; i < nGraphs; i++ {
+			j := dag.Random(rand.New(rand.NewSource(int64(trial*10+i))), 1+rng.Intn(14), 0.35)
+			graphs = append(graphs, NewGraph(j, featsFor(j)))
+		}
+		batch := g.ForwardBatch(graphs)
+		ref := g.Forward(graphs)
+		for i, gr := range graphs {
+			n := len(gr.Heights)
+			off := batch.Off[i]
+			for r := 0; r < n; r++ {
+				for c := 0; c < batch.Nodes.Cols; c++ {
+					got := batch.Nodes.At(off+r, c)
+					want := ref.Nodes[i].At(r, c)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("trial %d graph %d node (%d,%d): batched %v != per-graph %v", trial, i, r, c, got, want)
+					}
+				}
+			}
+		}
+		for k := range ref.Jobs.Data {
+			if math.Float64bits(batch.Jobs.Data[k]) != math.Float64bits(ref.Jobs.Data[k]) {
+				t.Fatalf("trial %d: job summary differs at %d", trial, k)
+			}
+		}
+	}
+}
+
+// TestGlobalsBatchBitIdentical checks the batched per-decision global
+// summaries against GlobalInference over each decision's job subset.
+func TestGlobalsBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testGNN(rng)
+	var graphs []*Graph
+	for i := 0; i < 5; i++ {
+		j := dag.Random(rand.New(rand.NewSource(int64(i))), 2+rng.Intn(8), 0.3)
+		graphs = append(graphs, NewGraph(j, featsFor(j)))
+	}
+	batch := g.ForwardBatch(graphs)
+
+	// Three "decisions" observing different job subsets (in job order).
+	decisions := [][]int{{0, 1, 2, 3, 4}, {1, 3}, {0, 2, 4}}
+	var flat, seg []int
+	for k, d := range decisions {
+		for _, gi := range d {
+			flat = append(flat, gi)
+			seg = append(seg, k)
+		}
+	}
+	globals := g.GlobalsBatch(batch.Jobs, flat, seg, len(decisions))
+	d := g.Cfg.EmbedDim
+	var s nn.Scratch
+	for k, dec := range decisions {
+		jobs := nn.Zeros(len(dec), d)
+		for i, gi := range dec {
+			copy(jobs.Data[i*d:(i+1)*d], batch.Jobs.Data[gi*d:(gi+1)*d])
+		}
+		s.Reset()
+		want := g.GlobalInference(jobs, &s)
+		for c := 0; c < d; c++ {
+			if math.Float64bits(globals.At(k, c)) != math.Float64bits(want.Data[c]) {
+				t.Fatalf("decision %d global col %d: %v != %v", k, c, globals.At(k, c), want.Data[c])
+			}
+		}
+	}
+}

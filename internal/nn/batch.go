@@ -1,0 +1,125 @@
+// Batched episode-replay kernels: the few fat differentiable operations the
+// training fast path needs beyond the generic ops in ops.go. A replayed
+// episode stacks every decision's rows into a handful of large matrices (one
+// matmul per network layer per episode instead of per decision), so the
+// per-decision softmax/pick/entropy bookkeeping has to become segmented:
+// each segment of a stacked score column is one decision's distribution.
+//
+// Forward arithmetic matches the unbatched tracked ops element for element —
+// per-segment log-softmax uses the same max-trick accumulation order as
+// LogSoftmax, and the entropy sum matches Sum(Mul(Softmax(x), LogSoftmax(x)))
+// — so replayed log-probabilities and entropies are bit-identical to the
+// values the rollout's decisions were sampled from.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// SegVals reports one segment's (one decision's) scalar outputs of
+// SegmentPickLoss: the log-probability of the picked element and the
+// distribution entropy.
+type SegVals struct {
+	LogProb float64
+	Entropy float64
+}
+
+// SegmentPickLoss treats each segment seg[s] = scores[start[s]:start[s+1]]
+// of a stacked n×1 score column as an independent categorical distribution
+// and returns the 1×1 scalar
+//
+//	Σ_s wPick[s]·logSoftmax(seg_s)[pick[s]] + wEnt[s]·H(seg_s)
+//
+// together with each segment's (log-prob, entropy) pair. start must hold
+// len(wPick)+1 ascending offsets covering scores exactly. It fuses what the
+// per-decision tracked path spelled as LogSoftmax + Pick + Softmax/Mul/Sum
+// per decision into one node with a hand-written backward:
+//
+//	d/dx_j [logp_c] = δ_{jc} − p_j
+//	d/dx_j [H]      = −p_j·(logp_j + H)
+//
+// Per-segment forward values are bit-identical to the unbatched ops (same
+// max-trick, same summation order); the REINFORCE weights are folded in here
+// rather than materialised as Scale nodes.
+func SegmentPickLoss(scores *Tensor, start []int, pick []int, wPick, wEnt []float64) (*Tensor, []SegVals) {
+	nSeg := len(wPick)
+	if scores.Cols != 1 {
+		panic(fmt.Sprintf("nn: SegmentPickLoss wants a column vector, got %d×%d", scores.Rows, scores.Cols))
+	}
+	if len(start) != nSeg+1 || len(pick) != nSeg || len(wEnt) != nSeg {
+		panic("nn: SegmentPickLoss slice length mismatch")
+	}
+	if start[0] != 0 || start[nSeg] != scores.Rows {
+		panic("nn: SegmentPickLoss segments do not cover the scores")
+	}
+	lp := make([]float64, scores.Rows) // retained for the backward closure
+	vals := make([]SegVals, nSeg)
+	loss := 0.0
+	for s := 0; s < nSeg; s++ {
+		lo, hi := start[s], start[s+1]
+		if hi <= lo {
+			panic("nn: SegmentPickLoss empty segment")
+		}
+		seg := scores.Data[lo:hi]
+		LogSoftmaxInto(lp[lo:hi], seg)
+		// H = −Σ p·logp, accumulated in index order like Sum(Mul(...)).
+		ent := 0.0
+		for _, l := range lp[lo:hi] {
+			ent += math.Exp(l) * l
+		}
+		ent = -ent
+		v := SegVals{LogProb: lp[lo+pick[s]], Entropy: ent}
+		vals[s] = v
+		loss += wPick[s]*v.LogProb + wEnt[s]*v.Entropy
+	}
+	var out *Tensor
+	back := func() {
+		if !scores.requiresGrad {
+			return
+		}
+		scores.ensureGrad()
+		g := out.Grad[0]
+		for s := 0; s < nSeg; s++ {
+			lo, hi := start[s], start[s+1]
+			wp, we := wPick[s], wEnt[s]
+			h := vals[s].Entropy
+			for j := lo; j < hi; j++ {
+				p := math.Exp(lp[j])
+				d := -wp * p
+				if j == lo+pick[s] {
+					d += wp
+				}
+				if we != 0 {
+					d -= we * p * (lp[j] + h)
+				}
+				scores.Grad[j] += g * d
+			}
+		}
+	}
+	out = newResult(1, 1, []float64{loss}, back, scores)
+	return out, vals
+}
+
+// GatherElems selects arbitrary flat elements of a as an n×1 column.
+// Indices may repeat; gradients scatter-add back. It is the batched
+// counterpart of per-element Pick — the replayed limit head uses it to pull
+// each decision's admissible limit scores out of one stacked W forward.
+func GatherElems(a *Tensor, idx []int) *Tensor {
+	data := make([]float64, len(idx))
+	for i, k := range idx {
+		data[i] = a.Data[k]
+	}
+	var out *Tensor
+	back := func() {
+		if !a.requiresGrad {
+			return
+		}
+		a.ensureGrad()
+		for i, k := range idx {
+			a.Grad[k] += out.Grad[i]
+		}
+	}
+	out = newResult(len(idx), 1, data, back, a)
+	return out
+}

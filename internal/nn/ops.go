@@ -49,17 +49,24 @@ func MatMul(a, b *Tensor) *Tensor {
 		}
 		if b.requiresGrad {
 			b.ensureGrad()
-			// dB = Aᵀ · G
-			for p := 0; p < k; p++ {
-				bgr := b.Grad[p*m : (p+1)*m]
-				for i := 0; i < n; i++ {
-					av := a.Data[i*k+p]
+			// dB = Aᵀ · G, accumulated row-block by row-block: the outer loop
+			// streams A and G row-major instead of walking A column-wise with
+			// stride k, which is what makes the backward affordable on the
+			// tall stacked matrices the batched episode replay produces
+			// (thousands of rows, narrow k and m). Every dB element still
+			// receives its contributions in ascending row order — the same
+			// order the old column-major loop used — so gradients are
+			// bit-identical; only the memory access pattern changed.
+			for i := 0; i < n; i++ {
+				ar := a.Data[i*k : (i+1)*k]
+				gr := g[i*m : (i+1)*m]
+				for p, av := range ar {
 					if av == 0 {
 						continue
 					}
-					gr := g[i*m : (i+1)*m]
-					for j := 0; j < m; j++ {
-						bgr[j] += av * gr[j]
+					bgr := b.Grad[p*m : (p+1)*m]
+					for j, gv := range gr {
+						bgr[j] += av * gv
 					}
 				}
 			}

@@ -39,6 +39,28 @@ func CloneGrads(params []*Tensor) [][]float64 {
 	return out
 }
 
+// CloneGradsInto is CloneGrads with caller-provided storage: dst's inner
+// buffers are reused when shapes allow, so a rollout worker snapshotting one
+// gradient per episode per iteration allocates only on its first pass.
+func CloneGradsInto(dst [][]float64, params []*Tensor) [][]float64 {
+	if cap(dst) < len(params) {
+		dst = make([][]float64, len(params))
+	}
+	dst = dst[:len(params)]
+	for i, p := range params {
+		if p.Grad == nil {
+			dst[i] = nil
+			continue
+		}
+		if cap(dst[i]) < len(p.Grad) {
+			dst[i] = make([]float64, len(p.Grad))
+		}
+		dst[i] = dst[i][:len(p.Grad)]
+		copy(dst[i], p.Grad)
+	}
+	return dst
+}
+
 // AccumulateGrads adds a gradient snapshot produced by CloneGrads into the
 // gradient buffers of params, allocating buffers as needed. Summing episode
 // snapshots in a fixed order makes the merged gradient independent of which

@@ -139,8 +139,33 @@ func repeatRow(t *nn.Tensor, n int) *nn.Tensor {
 	return nn.GatherRows(t, idx)
 }
 
+// forced pins every head of a decision to an already-sampled action, so the
+// tracked graph can be rebuilt for an action chosen earlier on the
+// inference path (the training replay). A forced decision consumes no
+// randomness.
+type forced struct {
+	choice int // candidate index
+	limit  int // parallelism level (as sampled, before any ablation override)
+	class  int // class id, or -1
+}
+
 // Decide runs the policy heads over the embeddings and returns the decision.
 func (p *Policy) Decide(emb *gnn.Embeddings, req Request, rng *rand.Rand) Decision {
+	return p.decide(emb, req, rng, nil)
+}
+
+// ReplayDecision rebuilds the tracked (differentiable) computation of a
+// decision whose action is already known: the same op-for-op graph Decide
+// builds — identical log-probability and entropy values — with the sampling
+// replaced by the recorded action. It is the per-decision "direct tape"
+// reference the batched episode replay is verified against.
+func (p *Policy) ReplayDecision(emb *gnn.Embeddings, req Request, choice, limit, class int) Decision {
+	return p.decide(emb, req, nil, &forced{choice: choice, limit: limit, class: class})
+}
+
+// decide implements Decide; when f is non-nil the action is forced instead
+// of sampled and rng is never touched.
+func (p *Policy) decide(emb *gnn.Embeddings, req Request, rng *rand.Rand, f *forced) Decision {
 	if len(req.Cands) == 0 {
 		panic("policy: no candidates")
 	}
@@ -159,7 +184,12 @@ func (p *Policy) Decide(emb *gnn.Embeddings, req Request, rng *rand.Rand) Decisi
 	for i := range probs {
 		probs[i] = math.Exp(logp.Data[i])
 	}
-	choice := sample(probs, rng, req.Greedy)
+	choice := 0
+	if f != nil {
+		choice = f.choice
+	} else {
+		choice = sample(probs, rng, req.Greedy)
+	}
 	ent := nn.Scale(nn.Sum(nn.Mul(nn.Softmax(scores), logp)), -1)
 	logProb := nn.Pick(logp, choice)
 
@@ -192,11 +222,16 @@ func (p *Policy) Decide(emb *gnn.Embeddings, req Request, rng *rand.Rand) Decisi
 		}
 		limitLogp = nn.LogSoftmax(p.W.Forward(nn.ConcatRows(rows...)))
 	}
-	lprobs := make([]float64, nL)
-	for i := range lprobs {
-		lprobs[i] = math.Exp(limitLogp.Data[i])
+	var li int
+	if f != nil {
+		li = f.limit - minL
+	} else {
+		lprobs := make([]float64, nL)
+		for i := range lprobs {
+			lprobs[i] = math.Exp(limitLogp.Data[i])
+		}
+		li = sample(lprobs, rng, req.Greedy)
 	}
-	li := sample(lprobs, rng, req.Greedy)
 	limit := minL + li
 	logProb = nn.Add(logProb, nn.Pick(limitLogp, li))
 
@@ -219,11 +254,22 @@ func (p *Policy) Decide(emb *gnn.Embeddings, req Request, rng *rand.Rand) Decisi
 		}
 		if len(rows) > 0 {
 			clogp := nn.LogSoftmax(p.C.Forward(nn.ConcatRows(rows...)))
-			cp := make([]float64, len(ids))
-			for i := range cp {
-				cp[i] = math.Exp(clogp.Data[i])
+			var ci int
+			if f != nil {
+				ci = 0
+				for i, id := range ids {
+					if id == f.class {
+						ci = i
+						break
+					}
+				}
+			} else {
+				cp := make([]float64, len(ids))
+				for i := range cp {
+					cp[i] = math.Exp(clogp.Data[i])
+				}
+				ci = sample(cp, rng, req.Greedy)
 			}
-			ci := sample(cp, rng, req.Greedy)
 			class = ids[ci]
 			logProb = nn.Add(logProb, nn.Pick(clogp, ci))
 		}

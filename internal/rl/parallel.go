@@ -23,7 +23,8 @@ import (
 
 // engine is a pool of rollout workers. Episode i is owned by worker
 // i mod len(workers) in both the collection and the backward phase, keeping
-// each episode's computation graph and gradient on the clone that built it.
+// each episode's pooled record storage and replayed gradient on the worker
+// that collected it.
 type engine struct {
 	workers []*worker
 }
@@ -32,7 +33,7 @@ type engine struct {
 func newEngine(master *core.Agent, n int) *engine {
 	e := &engine{workers: make([]*worker, n)}
 	for i := range e.workers {
-		e.workers[i] = newWorker(i, master)
+		e.workers[i] = newWorker(i, n, master)
 	}
 	return e
 }
@@ -62,23 +63,24 @@ func (e *engine) sync(master *core.Agent) {
 func (e *engine) collect(cfg Config, rbar float64, tasks []rolloutTask, simCfg sim.Config) []*episode {
 	episodes := make([]*episode, len(tasks))
 	e.fanOut(len(tasks), func(w *worker, i int) {
-		episodes[i] = w.rollout(cfg, rbar, tasks[i], simCfg)
+		episodes[i] = w.rollout(cfg, rbar, i, tasks[i], simCfg)
 	})
 	return episodes
 }
 
-// backward runs every episode's backward pass on its owning worker,
-// populating episode.grads. The trainer then merges the per-episode
-// gradients in episode order. An episode's graph is rooted at the parameter
-// tensors of the clone that collected it, so running its backward on any
-// other worker would silently compute wrong gradients — the recorded owner
-// guards against that ever drifting from fanOut's assignment.
-func (e *engine) backward(episodes []*episode, stdA, scale, entropyWeight float64) {
+// backward replays every episode on its owning worker — one batched tracked
+// forward plus one Backward per episode — populating episode.grads. The
+// trainer then merges the per-episode gradients in episode order. The
+// replay rebuilds its graph from the episode's records, so any worker
+// *could* run it; keeping the collector's assignment keeps the episode's
+// pooled record buffers on the goroutine that owns them, and the recorded
+// owner guards against the assignment ever drifting from fanOut's.
+func (e *engine) backward(episodes []*episode, stdA, scale, entropyWeight float64, direct bool) {
 	e.fanOut(len(episodes), func(w *worker, i int) {
 		if ep := episodes[i]; ep.worker == w.idx {
-			w.backward(ep, stdA, scale, entropyWeight)
+			w.backward(ep, stdA, scale, entropyWeight, direct)
 		} else {
-			panic("rl: episode backward scheduled on a worker that does not own its graph")
+			panic("rl: episode backward scheduled on a worker that does not own its storage")
 		}
 	})
 }

@@ -12,6 +12,15 @@
 //   - the average-reward formulation — a moving average r̂ of per-step
 //     penalties is subtracted to optimise time-average rather than total
 //     reward (Appendix B).
+//
+// Training runs on the fast path: rollouts execute entirely in inference
+// mode (no autograd graph, fused forwards, warm per-job embedding cache),
+// recording a minimal replay record per decision, and the backward pass
+// replays each episode once through a batched tracked forward that fuses
+// all of the episode's decisions (see internal/core's replay and DESIGN.md,
+// "The training fast path"). Replayed actions and log-probabilities are
+// bit-identical to the rollout's, and training remains bit-identical for
+// any worker count.
 package rl
 
 import (
@@ -21,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/gnn"
 	"repro/internal/nn"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -77,6 +87,14 @@ type Config struct {
 	// seed regardless of this setting. When Workers > 1 the JobSource is
 	// still only ever called from the trainer's goroutine.
 	Workers int
+	// DirectTape selects the per-decision direct-tape replay backward
+	// (core.Agent.ReplayLossDirect) instead of the default batched episode
+	// replay. Rollouts, actions, per-step log-probabilities and entropies
+	// are bit-identical either way; the two backwards accumulate the same
+	// gradient in different floating-point orders, so trained parameters
+	// agree to numerical precision but not bit-for-bit. The direct tape is
+	// the reference the batched path is tested and benchmarked against.
+	DirectTape bool
 }
 
 // DefaultConfig returns the training configuration used across the
@@ -152,47 +170,68 @@ func (t *Trainer) pool() *engine {
 	return t.eng
 }
 
-// episode is one rollout's record.
+// episode is one rollout's record. Every slice is pooled storage owned by
+// the collecting worker and reused across iterations (reset, never
+// reallocated once warm), so steady-state training allocates no episode
+// bookkeeping.
 type episode struct {
-	steps   []*core.Step
-	result  *sim.Result
-	returns []float64   // R_k per step
-	advs    []float64   // baseline-subtracted advantage per step
-	grads   [][]float64 // per-parameter gradient contribution (CloneGrads)
-	worker  int         // pool index of the worker that owns the graph
+	steps    []core.ReplayStep // one replay record per decision
+	graphs   []*gnn.Graph      // arena backing the steps' Graphs slices
+	result   *sim.Result
+	returns  []float64   // R_k per step
+	advs     []float64   // baseline-subtracted advantage per step
+	wLogp    []float64   // per-step log-prob loss weights (backward scratch)
+	wEnt     []float64   // per-step entropy loss weights (backward scratch)
+	logpVals []float64   // log π(a_k|s_k) values, filled by the replay
+	entVals  []float64   // entropy values, filled by the replay
+	grads    [][]float64 // per-parameter gradient contribution
+	worker   int         // pool index of the worker that owns the storage
+}
+
+// reset recycles the episode's pooled storage for a new rollout.
+func (ep *episode) reset() {
+	ep.steps = ep.steps[:0]
+	ep.graphs = ep.graphs[:0]
+	ep.returns = ep.returns[:0]
+	ep.advs = ep.advs[:0]
+	ep.logpVals = ep.logpVals[:0]
+	ep.entVals = ep.entVals[:0]
+	ep.result = nil
 }
 
 // rollout runs one sampled episode on the master agent. It is the serial
 // reference path the parallel workers replicate; tests use it to inspect
 // single episodes.
 func (t *Trainer) rollout(jobs []*dag.Job, simCfg sim.Config, horizon float64, seed int64) *episode {
-	return runEpisode(t.Agent, t.Cfg, t.rbar, rolloutTask{jobs: jobs, horizon: horizon, seed: seed}, simCfg)
+	return runEpisode(t.Agent, t.Cfg, t.rbar, rolloutTask{jobs: jobs, horizon: horizon, seed: seed}, simCfg, &episode{worker: -1})
 }
 
 // computeReturns derives per-step returns R_k from the recorded steps and
-// the final simulator state. It depends only on the episode, the config and
-// the rbar moving average (frozen for the duration of an iteration), so
-// workers can call it concurrently.
-func computeReturns(cfg Config, rbar float64, ep *episode) []float64 {
+// the final simulator state into the episode's pooled returns buffer. It
+// depends only on the episode, the config and the rbar moving average
+// (frozen for the duration of an iteration), so workers can call it
+// concurrently.
+func computeReturns(cfg Config, rbar float64, ep *episode) {
 	n := len(ep.steps)
 	if n == 0 {
-		return nil
+		ep.returns = ep.returns[:0]
+		return
 	}
 	final := ep.result.JobSeconds
 	finalT := ep.steps[n-1].Time
 	if cfg.Objective == ObjMakespan {
 		finalT = math.Max(ep.result.Makespan, finalT)
 	}
-	returns := make([]float64, n)
+	returns := resizeF(ep.returns, n)
 	switch cfg.Objective {
 	case ObjAvgJCT:
 		// R_k = Σ_{k'≥k} −(JS_{k'+1} − JS_{k'}) = −(JS_final − JS_k).
-		for k, s := range ep.steps {
-			returns[k] = -(final - s.JobSeconds)
+		for k := range ep.steps {
+			returns[k] = -(final - ep.steps[k].JobSeconds)
 		}
 	case ObjMakespan:
-		for k, s := range ep.steps {
-			returns[k] = -(finalT - s.Time)
+		for k := range ep.steps {
+			returns[k] = -(finalT - ep.steps[k].Time)
 		}
 	}
 	if cfg.DifferentialReward {
@@ -202,7 +241,7 @@ func computeReturns(cfg Config, rbar float64, ep *episode) []float64 {
 			returns[k] += rbar * float64(n-k)
 		}
 	}
-	return returns
+	ep.returns = returns
 }
 
 // updateRbar folds an episode's per-step rewards into the moving average.
@@ -242,9 +281,10 @@ func baselineAt(ep *episode, tt float64) float64 {
 }
 
 // Iteration runs one Algorithm-1 iteration: sample horizon and sequence,
-// roll out N episodes across the worker pool, compute input-dependent
-// baselines, accumulate policy gradients per episode, merge them in episode
-// order, and step Adam.
+// roll out N episodes across the worker pool on the inference fast path,
+// compute input-dependent baselines, replay each episode through one
+// batched tracked forward to accumulate its policy gradient, merge the
+// gradients in episode order, and step Adam.
 //
 // The iteration is bit-for-bit deterministic for a fixed trainer seed
 // regardless of Config.Workers: all randomness is derived up front on this
@@ -280,29 +320,27 @@ func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
 	// Advantage pass: per-step advantages against the per-time
 	// input-dependent baseline, in episode order.
 	var totalSteps int
-	var sumReturn, sumSteps, sumEntropy float64
-	var entropyCount int
+	var sumReturn, sumSteps float64
 	for i, ep := range episodes {
 		if len(ep.steps) == 0 {
 			continue
 		}
 		sumReturn += ep.returns[0]
 		sumSteps += float64(len(ep.steps))
-		ep.advs = make([]float64, len(ep.steps))
-		for k, s := range ep.steps {
+		ep.advs = resizeF(ep.advs, len(ep.steps))
+		for k := range ep.steps {
+			tt := ep.steps[k].Time
 			var b float64
 			for j, other := range episodes {
 				if j == i {
 					continue
 				}
-				b += baselineAt(other, s.Time)
+				b += baselineAt(other, tt)
 			}
 			if n > 1 {
 				b /= float64(n - 1)
 			}
 			ep.advs[k] = ep.returns[k] - b
-			sumEntropy += s.Entropy.Value()
-			entropyCount++
 		}
 		totalSteps += len(ep.steps)
 	}
@@ -331,22 +369,30 @@ func (t *Trainer) Iteration(src JobSource, simCfg sim.Config) IterStats {
 		stdA = math.Sqrt(sqA/float64(totalSteps)) + 1e-8
 	}
 
-	// Update phase: per-episode REINFORCE gradients on each episode's
-	// owning worker, merged in episode order on this goroutine. The loss is
-	// averaged over the batch's steps (not episodes) so the effective step
-	// size does not grow with episode length as the curriculum extends
-	// horizons.
+	// Update phase: each episode is replayed on its owning worker — the
+	// tracked graph the inference rollout skipped is rebuilt once, batched
+	// across the episode's decisions — and the per-episode gradients are
+	// merged in episode order on this goroutine. The loss is averaged over
+	// the batch's steps (not episodes) so the effective step size does not
+	// grow with episode length as the curriculum extends horizons.
 	scale := 1.0
 	if totalSteps > 0 {
 		scale = 1 / float64(totalSteps)
 	}
-	eng.backward(episodes, stdA, scale, t.Cfg.EntropyWeight)
+	eng.backward(episodes, stdA, scale, t.Cfg.EntropyWeight, t.Cfg.DirectTape)
 	params := t.Agent.Params()
 	nn.ZeroGrads(params)
+	var sumEntropy float64
+	var entropyCount int
 	for _, ep := range episodes {
-		if ep.grads != nil {
-			nn.AccumulateGrads(params, ep.grads)
+		if len(ep.steps) == 0 {
+			continue
 		}
+		nn.AccumulateGrads(params, ep.grads)
+		for _, e := range ep.entVals {
+			sumEntropy += e
+		}
+		entropyCount += len(ep.entVals)
 	}
 	grad := nn.ClipGradNorm(params, t.Cfg.GradClip)
 	t.opt.Step(params)
@@ -403,8 +449,9 @@ func (t *Trainer) Train(iters int, src JobSource, simCfg sim.Config, onIter func
 // agent skip the autograd graph and serve embeddings from its incremental
 // per-job cache, and the rollout is additionally wrapped in nn.Inference so
 // any remaining tensor op skips backward-closure construction. Decisions
-// are bit-identical to the tracked path, just cheaper; training (Iteration)
-// keeps the tracked path untouched.
+// are bit-identical to the tracked path, just cheaper. (Training rollouts
+// use the same fast path, plus a per-decision replay record; see
+// runEpisode.)
 func Evaluate(agent *core.Agent, seqs [][]*dag.Job, simCfg sim.Config, seed int64) (avgJCT, makespan float64) {
 	prevGreedy, prevHook := agent.Greedy, agent.Hook
 	agent.Greedy = true

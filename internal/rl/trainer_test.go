@@ -254,7 +254,7 @@ func TestReturnsAreCumulativePenalties(t *testing.T) {
 
 func TestBaselineAtInterpolation(t *testing.T) {
 	ep := &episode{
-		steps: []*core.Step{
+		steps: []core.ReplayStep{
 			{Time: 1}, {Time: 5}, {Time: 9},
 		},
 		returns: []float64{-10, -6, -1},

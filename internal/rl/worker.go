@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/nn"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -22,73 +23,127 @@ type rolloutTask struct {
 	seed    int64
 }
 
-// worker owns one private agent clone. A worker runs its episodes strictly
-// sequentially; parallelism comes from running workers side by side. Because
-// an episode's recorded computation graph is rooted at the clone's parameter
-// tensors, the same worker that collected an episode must also run its
-// backward pass.
+// worker owns one private agent clone plus the pooled episode storage for
+// the episodes it collects. A worker runs its episodes strictly
+// sequentially; parallelism comes from running workers side by side. The
+// worker that collects an episode also replays it for the backward pass, so
+// the pooled record buffers never cross goroutines.
 type worker struct {
 	idx   int
+	nw    int // pool size, for mapping episode index → local slot
 	agent *core.Agent
+	eps   []*episode // reusable episode storage, one per local slot
 }
 
-// newWorker clones the master agent for worker idx. The clone's parameters
-// are refreshed from the master at the start of every iteration, and its
-// sampling RNG is replaced per episode, so the seed here is irrelevant to
-// training results.
-func newWorker(idx int, master *core.Agent) *worker {
-	return &worker{idx: idx, agent: master.Clone(rand.New(rand.NewSource(int64(idx))))}
+// newWorker clones the master agent for worker idx of an nw-sized pool. The
+// clone's parameters are refreshed from the master at the start of every
+// iteration, and its sampling RNG is replaced per episode, so the seed here
+// is irrelevant to training results.
+func newWorker(idx, nw int, master *core.Agent) *worker {
+	return &worker{idx: idx, nw: nw, agent: master.Clone(rand.New(rand.NewSource(int64(idx))))}
 }
 
-// rollout collects one episode on the worker's private agent.
-func (w *worker) rollout(cfg Config, rbar float64, tk rolloutTask, simCfg sim.Config) *episode {
-	ep := runEpisode(w.agent, cfg, rbar, tk, simCfg)
+// episodeBuf returns the worker's pooled episode storage for global episode
+// index i, reset for reuse. Index i maps to local slot i/nw because fanOut
+// hands worker w the indices congruent to w.idx modulo nw.
+func (w *worker) episodeBuf(i int) *episode {
+	slot := i / w.nw
+	for len(w.eps) <= slot {
+		w.eps = append(w.eps, &episode{worker: -1})
+	}
+	ep := w.eps[slot]
+	ep.reset()
 	ep.worker = w.idx
 	return ep
 }
 
+// rollout collects one episode on the worker's private agent into pooled
+// storage.
+func (w *worker) rollout(cfg Config, rbar float64, i int, tk rolloutTask, simCfg sim.Config) *episode {
+	return runEpisode(w.agent, cfg, rbar, tk, simCfg, w.episodeBuf(i))
+}
+
 // runEpisode rolls out one episode on the given agent, which must not be in
-// use by any other goroutine. The agent's hook and RNG are restored before
+// use by any other goroutine, writing into ep's pooled storage. The rollout
+// runs entirely on the inference fast path — nil Hook, nn.Inference scope,
+// fused forwards, warm embedding cache — and records one ReplayStep per
+// decision; no autograd graph is built until the episode is replayed for its
+// backward pass. The agent's hook, recorder and RNG are restored before
 // returning. One RNG drives both action sampling and simulator noise, so the
 // episode is a pure function of (parameters, task, config, rbar).
-func runEpisode(agent *core.Agent, cfg Config, rbar float64, tk rolloutTask, simCfg sim.Config) *episode {
-	// worker -1 marks an episode whose graph is not rooted in any pool
-	// clone; engine.backward's ownership guard rejects it. worker.rollout
-	// overwrites the tag for pool-collected episodes.
-	ep := &episode{worker: -1}
-	prevHook, prevRNG := agent.Hook, agent.RNG()
+func runEpisode(agent *core.Agent, cfg Config, rbar float64, tk rolloutTask, simCfg sim.Config, ep *episode) *episode {
+	prevHook, prevRec, prevRNG := agent.Hook, agent.Record, agent.RNG()
 	defer func() {
-		agent.Hook = prevHook
+		agent.Hook, agent.Record = prevHook, prevRec
 		agent.SetRNG(prevRNG)
+		// Drop the episode's embedding cache: its pointer keys can never hit
+		// again (the next episode builds fresh JobStates) and the entries
+		// pin the finished run's jobs and recorded graphs.
+		agent.ResetCache()
 	}()
 	rng := rand.New(rand.NewSource(tk.seed))
 	agent.SetRNG(rng)
-	agent.Hook = func(s *core.Step) { ep.steps = append(ep.steps, s) }
-	ep.result = sim.New(simCfg, workload.CloneAll(tk.jobs), agent, rng).RunUntil(tk.horizon)
-	ep.returns = computeReturns(cfg, rbar, ep)
+	agent.Hook = nil
+	agent.Record = func(rs core.ReplayStep) {
+		// The record's Graphs slice aliases agent scratch; carve a stable
+		// copy out of the episode's pooled graph arena. (Appending may grow
+		// the arena into a new backing array; earlier steps keep their old
+		// backing, which is never overwritten.)
+		lo := len(ep.graphs)
+		ep.graphs = append(ep.graphs, rs.Graphs...)
+		rs.Graphs = ep.graphs[lo:len(ep.graphs):len(ep.graphs)]
+		ep.steps = append(ep.steps, rs)
+	}
+	nn.Inference(func() {
+		ep.result = sim.New(simCfg, workload.CloneAll(tk.jobs), agent, rng).RunUntil(tk.horizon)
+	})
+	computeReturns(cfg, rbar, ep)
 	return ep
 }
 
-// backward runs the REINFORCE backward pass for one of this worker's
-// episodes and snapshots the resulting per-episode gradient. The gradient
-// lands in the clone's parameter buffers (the episode's graph is rooted
-// there), is copied out, and the buffers are cleared for the worker's next
-// episode. Seeding order matches the serial implementation exactly: per step,
-// log-probability first, then the entropy bonus.
-func (w *worker) backward(ep *episode, stdA, scale, entropyWeight float64) {
-	if len(ep.steps) == 0 {
+// backward replays one of this worker's episodes — rebuilding the tracked
+// graph the rollout skipped — runs one backward pass over the episode's
+// REINFORCE loss, and snapshots the resulting per-episode gradient into
+// pooled storage. With direct=false the replay is the batched fused forward
+// (core.Agent.ReplayLoss); direct=true selects the per-decision direct-tape
+// reference. Per-step weights reproduce the old per-step seeding exactly:
+// loss = Σ −(adv/σ)·scale·logπ − β·scale·H.
+func (w *worker) backward(ep *episode, stdA, scale, entropyWeight float64, direct bool) {
+	n := len(ep.steps)
+	if n == 0 {
 		return
+	}
+	ep.wLogp = resizeF(ep.wLogp, n)
+	ep.wEnt = resizeF(ep.wEnt, n)
+	for k := 0; k < n; k++ {
+		adv := ep.advs[k] / stdA
+		ep.wLogp[k] = -adv * scale
+		ep.wEnt[k] = -entropyWeight * scale
 	}
 	params := w.agent.Params()
 	nn.ZeroGrads(params)
-	for k, s := range ep.steps {
-		adv := ep.advs[k] / stdA
-		// loss = −scale·adv·logπ − scale·β·H  →  seeds on logπ and H.
-		s.LogProb.Backward(-adv * scale)
-		if entropyWeight > 0 {
-			s.Entropy.Backward(-entropyWeight * scale)
-		}
+	var loss *nn.Tensor
+	var vals []policy.StepVals
+	if direct {
+		loss, vals = w.agent.ReplayLossDirect(ep.steps, ep.wLogp, ep.wEnt)
+	} else {
+		loss, vals = w.agent.ReplayLoss(ep.steps, ep.wLogp, ep.wEnt)
 	}
-	ep.grads = nn.CloneGrads(params)
+	loss.Backward(1)
+	ep.logpVals = resizeF(ep.logpVals, n)
+	ep.entVals = resizeF(ep.entVals, n)
+	for k, v := range vals {
+		ep.logpVals[k] = v.LogProb
+		ep.entVals[k] = v.Entropy
+	}
+	ep.grads = nn.CloneGradsInto(ep.grads, params)
 	nn.ZeroGrads(params)
+}
+
+// resizeF returns buf resized to n, reusing capacity.
+func resizeF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"repro/internal/dag"
@@ -135,6 +136,37 @@ type Sim struct {
 	timeline    []TaskInterval
 	doneCount   int
 	records     []JobRecord
+
+	// elig is the reusable eligible-executor ranking buffer of apply; it
+	// exists to keep the per-scheduling-event assignment loop allocation-
+	// free (see the satellite note in apply).
+	elig []eligibleExec
+}
+
+// eligibleExec pairs a free executor with its precomputed ranking keys for
+// apply's stable sort.
+type eligibleExec struct {
+	exec  *Executor
+	local bool
+	mem   float64
+}
+
+// compareEligible orders local executors first, then by ascending memory
+// (best fit); equal keys keep their insertion order under the stable sort.
+func compareEligible(a, b eligibleExec) int {
+	if a.local != b.local {
+		if a.local {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.mem < b.mem:
+		return -1
+	case a.mem > b.mem:
+		return 1
+	}
+	return 0
 }
 
 // New builds a simulation over the given jobs (scheduled by arrival time)
@@ -383,8 +415,13 @@ func (s *Sim) apply(act *Action, state *State) int {
 		return 0
 	}
 	// Rank eligible free executors: local ones first (no move delay), then
-	// by class match, then smallest sufficient memory (best fit).
-	var eligible []*Executor
+	// smallest sufficient memory (best fit). This runs inside every
+	// scheduling event's assignment loop, so the candidates and their sort
+	// keys go into a reusable pre-allocated slice sorted by a capture-free
+	// comparison — no per-event closure or slice garbage. The ordering
+	// matches the previous sort.SliceStable exactly (stable, same less
+	// relation), so schedules are unchanged.
+	elig := s.elig[:0]
 	for _, e := range state.FreeExecutors {
 		if e.Mem < st.Stage.MemReq {
 			continue
@@ -392,20 +429,16 @@ func (s *Sim) apply(act *Action, state *State) int {
 		if act.Class >= 0 && e.Class != act.Class {
 			continue
 		}
-		eligible = append(eligible, e)
+		elig = append(elig, eligibleExec{exec: e, local: e.LocalTo(job), mem: e.Mem})
 	}
-	sort.SliceStable(eligible, func(a, b int) bool {
-		la, lb := eligible[a].LocalTo(job), eligible[b].LocalTo(job)
-		if la != lb {
-			return la
-		}
-		return eligible[a].Mem < eligible[b].Mem
-	})
-	if want > len(eligible) {
-		want = len(eligible)
+	slices.SortStableFunc(elig, compareEligible)
+	s.elig = elig
+	if want > len(elig) {
+		want = len(elig)
 	}
 	assigned := 0
-	for _, e := range eligible[:want] {
+	for i := 0; i < want; i++ {
+		e := elig[i].exec
 		job.Executors++
 		if e.LocalTo(job) || s.cfg.MoveDelay == 0 {
 			s.launchTask(e, st)
