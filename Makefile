@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json smoke-server fmt vet
+.PHONY: all build test race bench bench-json smoke-server fmt vet docs-check
 
-all: build vet fmt test
+all: build vet fmt docs-check test
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Documentation consistency: every file referenced from the core documents
+# must exist (see cmd/docscheck). Fails the build on rot.
+docs-check:
+	$(GO) run ./cmd/docscheck
+
 # Benchmark artifacts, uploaded by CI so the perf trajectory is tracked
 # commit over commit.
 #
@@ -29,8 +34,9 @@ bench:
 # path, pre-PR tracked path) plus the Fig. 9a end-to-end benchmark.
 # BENCH_serving.json: per-event serving latency over the wire — stateless
 # v1 protocol (state rebuilt per request, cache can't hit) vs the v2
-# session protocol (server-side mirror, embedding cache on); the "ns/event"
-# extra metric is the comparison that matters.
+# session protocol (server-side mirror, embedding cache on), plus the
+# 16-concurrent-session benchmarks with the coalescing dispatcher on and
+# off; the "ns/event" extra metric is the comparison that matters.
 # BENCH_training.json: full training-iteration cost (inference rollouts +
 # episode replay backward) on the batched replay vs the per-decision
 # direct-tape reference; ns/op, allocs/op and the "episodes/sec" extra

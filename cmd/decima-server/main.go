@@ -7,7 +7,10 @@
 // ⟨stage, parallelism limit(, class)⟩ per scheduling event.
 //
 // Any policy from the scheduler registry can be served; sessions may also
-// select a policy per OpenSession call.
+// select a policy per OpenSession call. Concurrent decima sessions coalesce
+// their decisions into stacked inference forwards (`-max-batch`,
+// `-batch-window`; see docs/PROTOCOL.md) with per-session results
+// bit-identical to unbatched serving.
 //
 // Example:
 //
@@ -39,8 +42,15 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed for schedulers (per-session seeds from OpenSession take precedence)")
 		maxSessions = flag.Int("max-sessions", rpcsvc.DefaultMaxSessions, "bound on concurrent sessions (LRU eviction beyond it; <0 unbounded)")
 		idleTimeout = flag.Duration("idle-timeout", rpcsvc.DefaultIdleTimeout, "evict sessions idle for this long (<0 never)")
+		maxBatch    = flag.Int("max-batch", rpcsvc.DefaultMaxBatch, "max concurrent decima decisions coalesced into one stacked forward (<=1 disables batching)")
+		batchWindow = flag.Duration("batch-window", 0, "extra wait for stragglers once >=2 decisions are queued (0 = adaptive only; lone requests are never delayed)")
 	)
 	flag.Parse()
+	if *maxBatch < 1 {
+		// SessionConfig treats 0 as "default"; the flag contract is that
+		// anything ≤1 disables batching, so normalise before building it.
+		*maxBatch = 1
+	}
 
 	// The decima agent is built (and its model loaded) once; sessions get
 	// clones, so concurrent sessions share no mutable state while serving
@@ -59,6 +69,8 @@ func main() {
 		Default:     *schedName,
 		MaxSessions: *maxSessions,
 		IdleTimeout: *idleTimeout,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
 		New: func(name string, sessSeed int64) (scheduler.Scheduler, error) {
 			if sessSeed == 0 {
 				sessSeed = *seed
@@ -78,6 +90,11 @@ func main() {
 	}
 	fmt.Printf("decima scheduling service listening on %s\n", srv.Addr())
 	fmt.Printf("default scheduler %q, max %d sessions, idle timeout %s\n", *schedName, *maxSessions, *idleTimeout)
+	if *maxBatch > 1 {
+		fmt.Printf("decision batching on: max batch %d, window %s\n", *maxBatch, *batchWindow)
+	} else {
+		fmt.Println("decision batching off")
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)

@@ -3,9 +3,12 @@
 // Decima, the reinforcement-learning cluster scheduler for DAG-structured
 // data-processing jobs.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The repository-level benchmarks (bench_test.go) regenerate every table
-// and figure of the paper's evaluation at a small scale; cmd/decima-bench
-// runs them at larger scales.
+// Start with README.md for the layout and quickstart, DESIGN.md for the
+// system inventory and the performance-sensitive designs (fast paths,
+// caching, batched training and serving), EXPERIMENTS.md for the paper
+// figure/table ↔ experiment/benchmark mapping with current measured
+// numbers, and docs/PROTOCOL.md for the RPC scheduling service's wire
+// protocol. The repository-level benchmarks (bench_test.go) regenerate
+// every table and figure of the paper's evaluation at a small scale;
+// cmd/decima-bench runs them at larger scales.
 package repro

@@ -5,6 +5,14 @@
 // executor class in the multi-resource setting of §7.3) through the policy
 // network, and exposes everything behind sim.Scheduler so the same agent
 // runs in training rollouts, evaluation, and the RPC scheduling service.
+//
+// Three decision paths share one arithmetic, enforced bit-identical by
+// tests: the tracked path (Hook set; differentiable log-probabilities for
+// REINFORCE), the inference fast path (nil Hook; fused no-grad forwards
+// plus the incremental per-job embedding cache of cache.go, optionally
+// recording replay steps for the batched training backward in replay.go),
+// and the cross-request batched path (DecideBatch in batch.go; many
+// agents' concurrent decisions in one stacked forward, serving).
 package core
 
 import (
@@ -117,13 +125,23 @@ type Agent struct {
 
 	rng *rand.Rand
 
+	// lineage marks the agent's parameter provenance: New allocates a fresh
+	// marker, Clone shares the receiver's, SyncFrom adopts the source's, and
+	// Load invalidates (parameters were rewritten from disk). Agents sharing
+	// a lineage hold identical parameter values as long as nothing mutates
+	// them in place (an optimizer step, a hand edit) — the precondition
+	// DecideBatch uses to coalesce decisions from different agents into one
+	// stacked forward. Serving never mutates parameters; training agents
+	// never reach DecideBatch.
+	lineage *lineageTag
+
 	// Fast-path state: the scratch arena backing one decision's tensors and
 	// the per-job embedding cache (see cache.go). Private to the agent, so
 	// concurrent agents (e.g. parallel evaluation workers holding clones)
 	// never share mutable state. recGraphs is the per-decision graph list
 	// handed to Record, reused across decisions.
 	scratch   nn.Scratch
-	cache     map[*sim.JobState]*embEntry
+	cache     map[*sim.JobState]*jobCache
 	embedPass uint64
 	recGraphs []*gnn.Graph
 }
@@ -142,7 +160,7 @@ func New(cfg Config, rng *rand.Rand) *Agent {
 		// "embedding" dimensionality is the feature dimensionality.
 		embedDim = cfg.FeatDim()
 	}
-	a := &Agent{Cfg: cfg, rng: rng}
+	a := &Agent{Cfg: cfg, rng: rng, lineage: new(lineageTag)}
 	if !cfg.NoGraphEmbedding {
 		a.GNN = gnn.New(gnn.Config{
 			FeatDim:     cfg.FeatDim(),
@@ -180,12 +198,16 @@ func (a *Agent) Clone(rng *rand.Rand) *Agent {
 	nn.CopyParams(b.Params(), a.Params())
 	b.Greedy = a.Greedy
 	b.NoCache = a.NoCache
+	b.lineage = a.lineage // identical values: clones batch with their origin
 	return b
 }
 
 // SyncFrom copies parameter values from src, which must have the same
 // architecture (typically the agent this one was cloned from).
-func (a *Agent) SyncFrom(src *Agent) { nn.CopyParams(a.Params(), src.Params()) }
+func (a *Agent) SyncFrom(src *Agent) {
+	nn.CopyParams(a.Params(), src.Params())
+	a.lineage = src.lineage
+}
 
 // Decide implements the unified scheduler contract of internal/scheduler:
 // one invocation produces one ⟨stage, limit(, class)⟩ action. A local
@@ -218,8 +240,16 @@ func (a *Agent) SetRNG(rng *rand.Rand) { a.rng = rng }
 // Save writes the agent's parameters to a file.
 func (a *Agent) Save(path string) error { return nn.SaveParamsFile(path, a.Params()) }
 
-// Load reads parameters written by Save.
-func (a *Agent) Load(path string) error { return nn.LoadParamsFile(path, a.Params()) }
+// Load reads parameters written by Save. It starts a fresh parameter
+// lineage: the values no longer match any previously made clone, so the
+// loaded agent only batches with clones taken from it afterwards.
+func (a *Agent) Load(path string) error {
+	if err := nn.LoadParamsFile(path, a.Params()); err != nil {
+		return err
+	}
+	a.lineage = new(lineageTag)
+	return nil
+}
 
 // featureKeyInputs returns the only two cluster-wide (non-job-local) inputs
 // of a job's feature matrix: the free-executor count and the locality flag.
@@ -296,13 +326,11 @@ func (a *Agent) embed(s *sim.State) *gnn.Embeddings {
 	return emb
 }
 
-// Schedule implements sim.Scheduler: one invocation produces one
-// ⟨stage, limit(, class)⟩ action.
-func (a *Agent) Schedule(s *sim.State) *sim.Action {
-	var cands []policy.Candidate
-	var stages []*sim.StageState
-	var minLimits []int
-	var classOKs [][]bool
+// candidates enumerates the schedulable nodes of s — with their per-node
+// parallelism floors and (multi-resource) class masks — exactly as the
+// policy scores them. Shared by the sequential Schedule and the batched
+// DecideBatch so the two paths cannot drift.
+func (a *Agent) candidates(s *sim.State) (cands []policy.Candidate, stages []*sim.StageState, minLimits []int, classOKs [][]bool) {
 	for ji, j := range s.Jobs {
 		for ni, st := range j.Stages {
 			if !st.Runnable() || s.FreeCount(st) == 0 {
@@ -322,6 +350,13 @@ func (a *Agent) Schedule(s *sim.State) *sim.Action {
 			}
 		}
 	}
+	return cands, stages, minLimits, classOKs
+}
+
+// Schedule implements sim.Scheduler: one invocation produces one
+// ⟨stage, limit(, class)⟩ action.
+func (a *Agent) Schedule(s *sim.State) *sim.Action {
+	cands, stages, minLimits, classOKs := a.candidates(s)
 	if len(cands) == 0 {
 		return nil
 	}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/gnn"
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Cross-session batched decisions.
+//
+// A serving deployment holds one agent clone per session; under concurrent
+// load every session's scheduling event runs its own GNN + policy forward
+// even though all clones share identical parameters. DecideBatch coalesces
+// N independent decision requests into one stacked inference forward: the
+// union of every request's *dirty* job graphs (jobs whose per-agent
+// embedding-cache entry is stale — warm jobs are served from their session's
+// cache exactly as on the sequential path) is embedded in a single
+// multi-graph level-batched pass (gnn.ForwardBatchInference), per-request
+// global summaries are recombined in one pass (gnn.GlobalsBatchInference),
+// and the policy heads score all requests' candidate rows through one
+// stacked Q/W/C forward each (policy.DecideInferenceBatch).
+//
+// The equivalence bar is the usual one, per request: the action, the RNG
+// draws it consumed, and the resulting cache state are bit-identical to
+// calling Agent.Schedule on each (agent, state) pair sequentially, in any
+// batching composition. Batching changes which rows share a matmul call,
+// never a row's arithmetic; every softmax stays segmented per request; and
+// each request samples from its own agent's RNG in the sequential order.
+
+// lineageTag marks a parameter provenance; see Agent.lineage. The padding
+// byte matters: zero-sized allocations all share one address in Go, which
+// would make every lineage compare equal and batch agents with different
+// parameters together.
+type lineageTag struct{ _ byte }
+
+// BatchItem pairs one decision request with the agent deciding it. The
+// agent contributes its parameters (shared across the batch), its private
+// embedding cache, its RNG and its Greedy/NoCache switches.
+type BatchItem struct {
+	Agent *Agent
+	State *sim.State
+}
+
+// DecideBatch decides every item, coalescing as many as possible into one
+// stacked inference forward. Items fall back to a plain sequential
+// Agent.Schedule call — with identical results — when they cannot join the
+// batch: a tracked Hook or a replay Record is set, the GNN is ablated, or
+// the agent's parameter lineage differs from the batch's (the stacked
+// forward runs on one parameter set; only agents holding identical values —
+// New/Clone/SyncFrom lineage — may share it).
+//
+// The scratch arena s backs the batch's tensors and is reset on entry; it
+// must be owned by the caller (never an item's agent) and must not be used
+// concurrently. DecideBatch must not run concurrently with any other use of
+// the items' agents — in the serving dispatcher each in-flight event holds
+// its session lock, which guarantees exactly that.
+func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
+	acts := make([]*sim.Action, len(items))
+	if len(items) == 1 {
+		// Passthrough: a lone request gains nothing from stacking; the
+		// sequential path is bit-identical and reuses the agent's own arena.
+		acts[0] = items[0].Agent.Schedule(items[0].State)
+		return acts
+	}
+
+	// prep is one request that joined the batch.
+	type prep struct {
+		idx     int // index into items (and acts)
+		a       *Agent
+		state   *sim.State
+		stages  []*sim.StageState
+		req     policy.Request
+		jobBase int // first row of this request in the stacked job matrix
+		emb     *gnn.Embeddings
+	}
+	var preps []prep
+	var owner *Agent // parameter set the stacked forward runs on
+	totalJobs := 0
+	for i, it := range items {
+		a, st := it.Agent, it.State
+		batchable := a.Hook == nil && a.Record == nil && a.GNN != nil
+		if batchable && owner != nil && a.lineage != owner.lineage {
+			batchable = false
+		}
+		if !batchable {
+			acts[i] = a.Schedule(st)
+			continue
+		}
+		cands, stages, minLimits, classOKs := a.candidates(st)
+		if len(cands) == 0 {
+			// Mirrors Schedule: no candidates means no action, no RNG draw,
+			// and no embedding (the cache is not touched).
+			acts[i] = nil
+			continue
+		}
+		if owner == nil {
+			owner = a
+		}
+		req := policy.Request{
+			Cands:     cands,
+			MinLimits: minLimits,
+			ClassMem:  a.Cfg.ClassMem,
+			Greedy:    a.Greedy,
+		}
+		if classOKs != nil {
+			req.ClassOKPer = classOKs
+		}
+		preps = append(preps, prep{idx: i, a: a, state: st, stages: stages, req: req, jobBase: totalJobs})
+		totalJobs += len(st.Jobs)
+	}
+	if len(preps) == 0 {
+		return acts
+	}
+
+	// Embedding phase. Each request's per-job summary rows live in one
+	// stacked matrix so the global summaries recombine in a single pass;
+	// cache-warm jobs fill their rows from the cache, stale jobs join the
+	// multi-graph batch forward.
+	s.Reset()
+	d := owner.Cfg.EmbedDim
+	allJobs := s.AllocTensor(totalJobs, d)
+	type missRef struct {
+		prep      int
+		job       int // index into state.Jobs
+		js        *sim.JobState
+		freeTotal int
+		local     float64
+	}
+	var misses []missRef
+	var missGraphs []*gnn.Graph
+	for pi := range preps {
+		pr := &preps[pi]
+		a, st := pr.a, pr.state
+		if a.cache == nil {
+			a.cache = make(map[*sim.JobState]*jobCache)
+		}
+		a.embedPass++
+		pr.emb = &gnn.Embeddings{Nodes: make([]*nn.Tensor, len(st.Jobs))}
+		for ji, j := range st.Jobs {
+			freeTotal, local := featureKeyInputs(st, j)
+			ent := a.cacheFor(j).lookup(j.Version, freeTotal, local)
+			if ent == nil || a.NoCache {
+				misses = append(misses, missRef{prep: pi, job: ji, js: j, freeTotal: freeTotal, local: local})
+				missGraphs = append(missGraphs, gnn.NewGraph(j.Job, a.Features(st, j)))
+				continue
+			}
+			ent.pass = a.embedPass
+			pr.emb.Nodes[ji] = ent.nodes
+			copy(allJobs.Data[(pr.jobBase+ji)*d:(pr.jobBase+ji+1)*d], ent.jobRow)
+		}
+		pr.emb.Jobs = nn.New(len(st.Jobs), d, allJobs.Data[pr.jobBase*d:(pr.jobBase+len(st.Jobs))*d])
+	}
+	if len(missGraphs) > 0 {
+		batch := owner.GNN.ForwardBatchInference(missGraphs, s)
+		for mi, m := range misses {
+			pr := &preps[m.prep]
+			a := pr.a
+			n := len(missGraphs[mi].Heights)
+			off := batch.Off[mi]
+			nodes := nn.New(n, d, batch.Nodes.Data[off*d:(off+n)*d])
+			row := batch.Jobs.Data[mi*d : (mi+1)*d]
+			if a.NoCache {
+				// Nothing outlives the batch; the arena-backed views are used
+				// directly, exactly as the sequential NoCache path.
+				pr.emb.Nodes[m.job] = nodes
+			} else {
+				ent := &embEntry{
+					version:   m.js.Version,
+					freeTotal: m.freeTotal,
+					local:     m.local,
+					nodes:     nodes.Clone(),
+					jobRow:    append([]float64(nil), row...),
+					pass:      a.embedPass,
+				}
+				a.cache[m.js].store(ent)
+				pr.emb.Nodes[m.job] = ent.nodes
+			}
+			copy(allJobs.Data[(pr.jobBase+m.job)*d:(pr.jobBase+m.job+1)*d], row)
+		}
+	}
+	// Sweep departed jobs per agent, as the sequential path does per decision.
+	for pi := range preps {
+		preps[pi].a.cacheSweep(len(preps[pi].state.Jobs))
+	}
+	// One global-summary pass over the stacked per-job rows: request pi's
+	// row sums its own (contiguous) jobs in job order, matching
+	// GlobalInference; nil flat = identity, no gather copy.
+	seg := make([]int, totalJobs)
+	for pi := range preps {
+		base, n := preps[pi].jobBase, len(preps[pi].state.Jobs)
+		for r := base; r < base+n; r++ {
+			seg[r] = pi
+		}
+	}
+	globals := owner.GNN.GlobalsBatchInference(allJobs, nil, seg, len(preps), s)
+	for pi := range preps {
+		preps[pi].emb.Global = nn.New(1, d, globals.Data[pi*d:(pi+1)*d])
+	}
+
+	// Policy phase: one stacked forward per head, each request sampling from
+	// its own agent's RNG.
+	embs := make([]*gnn.Embeddings, len(preps))
+	reqs := make([]policy.Request, len(preps))
+	rngs := make([]*rand.Rand, len(preps))
+	for pi := range preps {
+		embs[pi] = preps[pi].emb
+		reqs[pi] = preps[pi].req
+		rngs[pi] = preps[pi].a.rng
+	}
+	decs := owner.Pol.DecideInferenceBatch(embs, reqs, rngs, s)
+	for pi := range preps {
+		pr := &preps[pi]
+		dec := decs[pi]
+		limit := dec.Limit
+		if pr.a.Cfg.NoParallelismControl {
+			limit = pr.state.TotalExecutors
+		}
+		acts[pr.idx] = &sim.Action{Stage: pr.stages[dec.Choice], Limit: limit, Class: dec.Class}
+	}
+	return acts
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// lockstep forces every concurrently pending decision of a set of parallel
+// simulations through one DecideBatch call: a request only flushes once
+// every still-running simulation has one queued, so the test exercises real
+// multi-request batches of every composition the runs produce.
+type lockstep struct {
+	mu      sync.Mutex
+	live    int
+	pending []lockstepReq
+	scratch nn.Scratch
+}
+
+type lockstepReq struct {
+	item BatchItem
+	ch   chan *sim.Action
+}
+
+func (l *lockstep) decide(a *Agent, s *sim.State) *sim.Action {
+	ch := make(chan *sim.Action, 1)
+	l.mu.Lock()
+	l.pending = append(l.pending, lockstepReq{item: BatchItem{Agent: a, State: s}, ch: ch})
+	if len(l.pending) == l.live {
+		l.flushLocked()
+	}
+	l.mu.Unlock()
+	return <-ch
+}
+
+// leave retires one finished simulation; the remaining waiters may now form
+// a full batch.
+func (l *lockstep) leave() {
+	l.mu.Lock()
+	l.live--
+	if l.live > 0 && len(l.pending) == l.live {
+		l.flushLocked()
+	}
+	l.mu.Unlock()
+}
+
+func (l *lockstep) flushLocked() {
+	reqs := l.pending
+	l.pending = nil
+	items := make([]BatchItem, len(reqs))
+	for i, r := range reqs {
+		items[i] = r.item
+	}
+	acts := DecideBatch(items, &l.scratch)
+	for i, r := range reqs {
+		r.ch <- acts[i]
+	}
+}
+
+// TestDecideBatchBitIdenticalToSequential runs several independent noisy,
+// sampled simulations whose every decision is coalesced into DecideBatch
+// calls, against sequential references using identically seeded clones: the
+// schedules, metrics and RNG streams must match exactly. One run uses an
+// agent from a different parameter lineage (it must fall back to its own
+// sequential decision inside the batch) and one uses the GNN ablation (not
+// batchable at all) — both still must match their references bit for bit.
+func TestDecideBatchBitIdenticalToSequential(t *testing.T) {
+	const executors = 8
+	const runs = 6
+	base := New(DefaultConfig(executors), rand.New(rand.NewSource(3)))
+	other := New(DefaultConfig(executors), rand.New(rand.NewSource(4))) // different lineage
+	ablCfg := DefaultConfig(executors)
+	ablCfg.NoGraphEmbedding = true
+
+	mkAgent := func(k int, rng *rand.Rand) *Agent {
+		switch k {
+		case 1:
+			return other.Clone(rng)
+		case 2:
+			return New(ablCfg, rand.New(rand.NewSource(5))) // params ignored: needs own RNG below
+		default:
+			return base.Clone(rng)
+		}
+	}
+
+	type result struct {
+		key  string
+		next float64 // first RNG draw after the run: pins stream alignment
+	}
+	sequential := make([]result, runs)
+	batched := make([]result, runs)
+
+	run := func(k int, decide func(*Agent, *sim.State) *sim.Action, out *result) {
+		rng := rand.New(rand.NewSource(int64(100 + k)))
+		a := mkAgent(k, rng)
+		if k == 2 {
+			a.SetRNG(rng)
+		}
+		a.Greedy = false // sampled: every decision consumes the RNG
+		jobs := workload.Batch(rand.New(rand.NewSource(int64(10+k))), 4)
+		sched := sim.SchedulerFunc(func(s *sim.State) *sim.Action { return decide(a, s) })
+		res := sim.New(sim.SparkDefaults(executors), jobs, sched, rand.New(rand.NewSource(int64(k)))).Run()
+		if res.Unfinished != 0 || res.Deadlock {
+			t.Errorf("run %d incomplete: unfinished=%d deadlock=%v", k, res.Unfinished, res.Deadlock)
+		}
+		*out = result{key: resultKey(res), next: a.RNG().Float64()}
+	}
+
+	// Sequential references.
+	for k := 0; k < runs; k++ {
+		run(k, func(a *Agent, s *sim.State) *sim.Action { return a.Schedule(s) }, &sequential[k])
+	}
+
+	// Batched: all runs concurrently, decisions in lockstep.
+	ls := &lockstep{live: runs}
+	var wg sync.WaitGroup
+	for k := 0; k < runs; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			defer ls.leave()
+			run(k, ls.decide, &batched[k])
+		}(k)
+	}
+	wg.Wait()
+
+	for k := 0; k < runs; k++ {
+		if batched[k].key != sequential[k].key {
+			t.Fatalf("run %d: batched schedule diverged from sequential:\n%s\nvs\n%s", k, batched[k].key, sequential[k].key)
+		}
+		if batched[k].next != sequential[k].next {
+			t.Fatalf("run %d: RNG stream diverged after the run", k)
+		}
+	}
+}
+
+// TestDecideBatchSingleAndEmpty pins the degenerate shapes: a one-item batch
+// is the sequential decision, and a no-candidate state yields a nil action
+// without touching the RNG.
+func TestDecideBatchSingleAndEmpty(t *testing.T) {
+	const executors = 6
+	base := New(DefaultConfig(executors), rand.New(rand.NewSource(7)))
+	a := base.Clone(rand.New(rand.NewSource(1)))
+	b := base.Clone(rand.New(rand.NewSource(1)))
+
+	jobs := workload.Batch(rand.New(rand.NewSource(2)), 2)
+	var states []*sim.State
+	probe := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
+		if len(states) == 0 {
+			states = append(states, s)
+			// Decide the captured state through both paths before the sim
+			// mutates it further.
+			var scratch nn.Scratch
+			got := DecideBatch([]BatchItem{{Agent: a, State: s}}, &scratch)[0]
+			want := b.Schedule(s)
+			if (got == nil) != (want == nil) {
+				t.Fatalf("single-item batch: got %v, want %v", got, want)
+			}
+			if got != nil && (got.Stage != want.Stage || got.Limit != want.Limit || got.Class != want.Class) {
+				t.Fatalf("single-item batch diverged: %+v vs %+v", got, want)
+			}
+			return want
+		}
+		return b.Schedule(s)
+	})
+	sim.New(sim.SparkDefaults(executors), jobs, probe, rand.New(rand.NewSource(3))).Run()
+
+	// No-candidate state: nothing runnable, no free executors. cRef is an
+	// identically seeded twin whose RNG is never exposed to a decision, so a
+	// draw mismatch afterwards means the no-candidate path touched the RNG.
+	empty := &sim.State{TotalExecutors: executors}
+	c := base.Clone(rand.New(rand.NewSource(9)))
+	cRef := base.Clone(rand.New(rand.NewSource(9)))
+	var scratch nn.Scratch
+	acts := DecideBatch([]BatchItem{{Agent: c, State: empty}, {Agent: base.Clone(rand.New(rand.NewSource(11))), State: empty}}, &scratch)
+	if acts[0] != nil || acts[1] != nil {
+		t.Fatal("no-candidate state produced an action")
+	}
+	if c.RNG().Float64() != cRef.RNG().Float64() {
+		t.Fatal("no-candidate decision consumed the RNG")
+	}
+}

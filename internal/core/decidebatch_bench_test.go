@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// BenchmarkDecideBatch pits one coalesced DecideBatch of 16 concurrent
+// requests against 16 sequential Schedule calls on the same states — the
+// server-side decide cost the rpcsvc dispatcher amortises, isolated from
+// RPC and simulator overhead. Warm caches (the serving steady state).
+func BenchmarkDecideBatch(b *testing.B) {
+	for _, shape := range []struct{ jobs, execs int }{{10, 10}, {20, 10}, {40, 20}} {
+		base := New(DefaultConfig(shape.execs), rand.New(rand.NewSource(3)))
+		base.Greedy = true
+		const n = 16
+		items := make([]BatchItem, n)
+		for i := range items {
+			a := base.Clone(rand.New(rand.NewSource(int64(i))))
+			st := benchState(shape.jobs, shape.execs)
+			a.Schedule(st) // warm the cache
+			items[i] = BatchItem{Agent: a, State: st}
+		}
+		name := fmt.Sprintf("%dx%djobs", n, shape.jobs)
+		b.Run(name+"/sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					it.Agent.Schedule(it.State)
+				}
+			}
+		})
+		b.Run(name+"/batched", func(b *testing.B) {
+			var s nn.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				DecideBatch(items, &s)
+			}
+		})
+	}
+}

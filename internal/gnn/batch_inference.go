@@ -1,0 +1,127 @@
+package gnn
+
+import "repro/internal/nn"
+
+// This file is the no-grad twin of batch.go: the multi-graph level-batched
+// forward on the inference fast path. Where ForwardBatch serves the training
+// replay (it must build the autograd graph), ForwardBatchInference serves
+// cross-session request batching in the scheduling service: many concurrent
+// decisions' dirty job DAGs are embedded in one stacked pass with fused MLP
+// kernels and every intermediate drawn from a caller-owned scratch arena.
+//
+// The equivalence bar is the same as everywhere on the fast path: each
+// graph's rows are bit-identical to embedding it alone (EmbedNodesInference /
+// JobSummaryInference), and therefore — by batch.go's argument — to the
+// tracked ForwardBatch and per-graph Forward. Batching changes which rows
+// share a matmul call, never the arithmetic a row sees.
+//
+// Returned tensors live in the scratch arena and are valid until the caller
+// resets it; results that must survive across decisions (cached per-job
+// embeddings) must be copied out.
+
+// ForwardBatchInference embeds all graphs in one level-batched no-grad pass,
+// producing node embeddings and per-graph summaries bit-identical to
+// ForwardBatch (and to running ForwardInference on each graph separately).
+func (g *GNN) ForwardBatchInference(graphs []*Graph, s *nn.Scratch) *Batch {
+	if len(graphs) == 0 {
+		panic("gnn: ForwardBatchInference of no graphs")
+	}
+	f := graphs[0].Feats.Cols
+	off := make([]int, len(graphs))
+	total, maxH := 0, 0
+	for i, gr := range graphs {
+		off[i] = total
+		total += len(gr.Heights)
+		for _, h := range gr.Heights {
+			if h > maxH {
+				maxH = h
+			}
+		}
+	}
+	allFeats := s.AllocTensor(total, f)
+	for i, gr := range graphs {
+		copy(allFeats.Data[off[i]*f:], gr.Feats.Data)
+	}
+	x := g.Prep.ForwardInference(allFeats, s) // total×D projected features
+	e := x
+	d := x.Cols
+	for h := 1; h <= maxH; h++ {
+		// Gather this level's parents — across every graph, in graph order —
+		// and their children, all in stacked row coordinates (same order as
+		// ForwardBatch).
+		var parents []int
+		var childIdx []int
+		var seg []int
+		for gi, gr := range graphs {
+			base := off[gi]
+			for v, hv := range gr.Heights {
+				if hv != h {
+					continue
+				}
+				pi := len(parents)
+				parents = append(parents, base+v)
+				for _, c := range gr.Children[v] {
+					childIdx = append(childIdx, base+c)
+					seg = append(seg, pi)
+				}
+			}
+		}
+		if len(parents) == 0 {
+			continue
+		}
+		msgs := g.FNode.ForwardInference(gatherRows(e, childIdx, s), s)
+		agg := segmentSum(msgs, seg, len(parents), s)
+		if !g.Cfg.SingleLevel {
+			agg = g.GNode.ForwardInference(agg, s)
+		}
+		// rows = agg + x[parents], scattered into a copy of e (the tracked
+		// path's Add + ScatterRows, fused — exactly as EmbedNodesInference).
+		ne := s.AllocTensor(e.Rows, e.Cols)
+		copy(ne.Data, e.Data)
+		for pi, v := range parents {
+			dst := ne.Data[v*d : (v+1)*d]
+			ar := agg.Data[pi*d : (pi+1)*d]
+			xr := x.Data[v*d : (v+1)*d]
+			for j := range dst {
+				dst[j] = ar[j] + xr[j]
+			}
+		}
+		e = ne
+	}
+	// Per-graph summaries: one FJob pass over every (x_v, e_v) pair, summed
+	// per graph in row order (matching the per-graph sumRows), one GJob pass
+	// over the stacked per-graph aggregates.
+	graphSeg := make([]int, total)
+	for gi := range graphs {
+		end := total
+		if gi+1 < len(graphs) {
+			end = off[gi+1]
+		}
+		for r := off[gi]; r < end; r++ {
+			graphSeg[r] = gi
+		}
+	}
+	pair := s.AllocTensor(total, f+d)
+	for i := 0; i < total; i++ {
+		copy(pair.Data[i*(f+d):i*(f+d)+f], allFeats.Data[i*f:(i+1)*f])
+		copy(pair.Data[i*(f+d)+f:(i+1)*(f+d)], e.Data[i*d:(i+1)*d])
+	}
+	sums := segmentSum(g.FJob.ForwardInference(pair, s), graphSeg, len(graphs), s)
+	return &Batch{Nodes: e, Off: off, Jobs: g.GJob.ForwardInference(sums, s)}
+}
+
+// GlobalsBatchInference is GlobalsBatch's no-grad twin: one global summary
+// row per decision, computed from the batched per-graph summaries with fused
+// kernels in the scratch arena. Row k is bit-identical to GlobalInference
+// over decision k's per-job matrix — FGlob is row-independent and each
+// decision's segment sum adds rows in job order. A nil flat means the
+// identity mapping (decision k owns a contiguous run of jobs rows, as in
+// serving batches) and skips the gather copy.
+func (g *GNN) GlobalsBatchInference(jobs *nn.Tensor, flat, seg []int, nDecisions int, s *nn.Scratch) *nn.Tensor {
+	fg := g.FGlob.ForwardInference(jobs, s)
+	if flat != nil {
+		fg = gatherRows(fg, flat, s)
+	}
+	sums := segmentSum(fg, seg, nDecisions, s)
+	return g.GGlob.ForwardInference(sums, s)
+}

@@ -1,0 +1,108 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/nn"
+)
+
+// TestForwardBatchInferenceBitIdentical pins the serving batch forward to
+// both of its references: bitwise equal to the tracked ForwardBatch over the
+// same graph list, and bitwise equal per graph to the sequential inference
+// pass (ForwardInference) — the equivalence cross-session request batching
+// rests on.
+func TestForwardBatchInferenceBitIdentical(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(300 + trial)))
+		cfg := Config{FeatDim: 3, EmbedDim: 4, Hidden: []int{8}, SingleLevel: trial == 3}
+		g := New(cfg, rng)
+		var graphs []*Graph
+		nGraphs := 1 + rng.Intn(6)
+		for i := 0; i < nGraphs; i++ {
+			j := dag.Random(rand.New(rand.NewSource(int64(trial*10+i))), 1+rng.Intn(14), 0.35)
+			graphs = append(graphs, NewGraph(j, featsFor(j)))
+		}
+		var s nn.Scratch
+		batch := g.ForwardBatchInference(graphs, &s)
+		tracked := g.ForwardBatch(graphs)
+		for k := range tracked.Nodes.Data {
+			if math.Float64bits(batch.Nodes.Data[k]) != math.Float64bits(tracked.Nodes.Data[k]) {
+				t.Fatalf("trial %d: node emb differs from tracked ForwardBatch at %d", trial, k)
+			}
+		}
+		for k := range tracked.Jobs.Data {
+			if math.Float64bits(batch.Jobs.Data[k]) != math.Float64bits(tracked.Jobs.Data[k]) {
+				t.Fatalf("trial %d: job summary differs from tracked ForwardBatch at %d", trial, k)
+			}
+		}
+		d := g.Cfg.EmbedDim
+		for i, gr := range graphs {
+			var ss nn.Scratch
+			seq := g.ForwardInference([]*Graph{gr}, &ss)
+			off := batch.Off[i]
+			n := len(gr.Heights)
+			for r := 0; r < n; r++ {
+				for c := 0; c < d; c++ {
+					got := batch.Nodes.At(off+r, c)
+					want := seq.Nodes[0].At(r, c)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("trial %d graph %d node (%d,%d): batched %v != sequential %v", trial, i, r, c, got, want)
+					}
+				}
+			}
+			for c := 0; c < d; c++ {
+				if math.Float64bits(batch.Jobs.At(i, c)) != math.Float64bits(seq.Jobs.At(0, c)) {
+					t.Fatalf("trial %d graph %d job col %d: batched != sequential", trial, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalsBatchInferenceBitIdentical checks the batched per-decision
+// global summaries against both the tracked GlobalsBatch and the sequential
+// GlobalInference over each decision's job subset.
+func TestGlobalsBatchInferenceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := testGNN(rng)
+	var graphs []*Graph
+	for i := 0; i < 5; i++ {
+		j := dag.Random(rand.New(rand.NewSource(int64(i))), 2+rng.Intn(8), 0.3)
+		graphs = append(graphs, NewGraph(j, featsFor(j)))
+	}
+	var s nn.Scratch
+	batch := g.ForwardBatchInference(graphs, &s)
+
+	decisions := [][]int{{0, 1, 2, 3, 4}, {1, 3}, {0, 2, 4}}
+	var flat, seg []int
+	for k, dec := range decisions {
+		for _, gi := range dec {
+			flat = append(flat, gi)
+			seg = append(seg, k)
+		}
+	}
+	globals := g.GlobalsBatchInference(batch.Jobs, flat, seg, len(decisions), &s)
+	tracked := g.GlobalsBatch(batch.Jobs.Clone(), flat, seg, len(decisions))
+	for k := range tracked.Data {
+		if math.Float64bits(globals.Data[k]) != math.Float64bits(tracked.Data[k]) {
+			t.Fatalf("batched inference globals differ from tracked GlobalsBatch at %d", k)
+		}
+	}
+	d := g.Cfg.EmbedDim
+	for k, dec := range decisions {
+		jobs := nn.Zeros(len(dec), d)
+		for i, gi := range dec {
+			copy(jobs.Data[i*d:(i+1)*d], batch.Jobs.Data[gi*d:(gi+1)*d])
+		}
+		var ss nn.Scratch
+		want := g.GlobalInference(jobs, &ss)
+		for c := 0; c < d; c++ {
+			if math.Float64bits(globals.At(k, c)) != math.Float64bits(want.Data[c]) {
+				t.Fatalf("decision %d global col %d: %v != %v", k, c, globals.At(k, c), want.Data[c])
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/gnn"
+	"repro/internal/nn"
+)
+
+// This file is the policy network's cross-request batched decision path: the
+// serving-side counterpart of replay.go's batched training heads. N
+// concurrent, independent decision requests — each with its own embeddings,
+// candidate masks and RNG — are scored through one stacked Q forward, one
+// stacked W forward and one stacked C forward instead of N of each.
+//
+// Per-request results are bit-identical to calling DecideInference once per
+// request: the fused MLP kernels are row-independent (stacking changes which
+// rows share a matmul call, never a row's arithmetic), every softmax stays
+// segmented per request, and each request's RNG is consumed in the same
+// order (node, then limit, then class) as on the sequential path.
+
+// DecideInferenceBatch runs DecideInference for many independent requests in
+// stacked forwards. embs[k], reqs[k] and rngs[k] describe request k; the
+// returned decisions match sequential DecideInference calls bit for bit
+// (actions, NodeProbs and RNG consumption). All intermediates live in the
+// caller's scratch arena.
+func (p *Policy) DecideInferenceBatch(embs []*gnn.Embeddings, reqs []Request, rngs []*rand.Rand, s *nn.Scratch) []Decision {
+	n := len(reqs)
+	decs := make([]Decision, n)
+
+	// Node head: stack every request's candidate rows [e_v, y_i, z] into one
+	// Q forward; per-request log-softmax segments; per-request sampling.
+	qIn := p.Q.InDim()
+	start := make([]int, n+1)
+	total := 0
+	for k := range reqs {
+		if len(reqs[k].Cands) == 0 {
+			panic("policy: no candidates")
+		}
+		start[k] = total
+		total += len(reqs[k].Cands)
+	}
+	start[n] = total
+	mat := s.AllocTensor(total, qIn)
+	for k := range reqs {
+		emb := embs[k]
+		dz := emb.Global.Cols
+		dy := emb.Jobs.Cols
+		for i, c := range reqs[k].Cands {
+			row := mat.Data[(start[k]+i)*qIn : (start[k]+i+1)*qIn]
+			nodes := emb.Nodes[c.JobIdx]
+			de := nodes.Cols
+			copy(row[:de], nodes.Data[c.NodeIdx*de:(c.NodeIdx+1)*de])
+			copy(row[de:de+dy], emb.Jobs.Data[c.JobIdx*dy:(c.JobIdx+1)*dy])
+			copy(row[de+dy:de+dy+dz], emb.Global.Data)
+		}
+	}
+	scores := p.Q.ForwardInference(mat, s) // total×1
+	for k := range reqs {
+		nc := len(reqs[k].Cands)
+		lp := s.Alloc(nc)
+		nn.LogSoftmaxInto(lp, scores.Data[start[k]:start[k+1]])
+		probs := make([]float64, nc) // escapes via Decision.NodeProbs
+		for i := range probs {
+			probs[i] = math.Exp(lp[i])
+		}
+		decs[k].Choice = sample(probs, rngs[k], reqs[k].Greedy)
+		decs[k].NodeProbs = probs
+		decs[k].Class = -1
+	}
+
+	p.batchLimits(embs, reqs, rngs, decs, s)
+	p.batchClasses(embs, reqs, rngs, decs, s)
+	return decs
+}
+
+// limitSpan mirrors DecideInference's admissible-limit clamping for the
+// chosen candidate of one request.
+func (p *Policy) limitSpan(req Request, choice int) (minL, nL int) {
+	minL = req.MinLimit
+	if req.MinLimits != nil {
+		minL = req.MinLimits[choice]
+	}
+	if minL < 1 {
+		minL = 1
+	}
+	if minL > p.Cfg.NumLimits {
+		minL = p.Cfg.NumLimits
+	}
+	return minL, p.Cfg.NumLimits - minL + 1
+}
+
+// batchLimits runs the parallelism-limit head for every request in one
+// stacked W forward and samples each request's limit from its own segment.
+func (p *Policy) batchLimits(embs []*gnn.Embeddings, reqs []Request, rngs []*rand.Rand, decs []Decision, s *nn.Scratch) {
+	n := len(reqs)
+	if p.Cfg.NoLimitInput {
+		// One context row per request; each request's admissible limits are a
+		// contiguous slice of its NumLimits-wide output row.
+		wIn := p.W.InDim()
+		rows := s.AllocTensor(n, wIn)
+		for k := range reqs {
+			ctx := p.limitContextInference(embs[k], reqs[k].Cands[decs[k].Choice], s)
+			copy(rows.Data[k*wIn:(k+1)*wIn], ctx.Data)
+		}
+		out := p.W.ForwardInference(rows, s) // n×NumLimits
+		for k := range reqs {
+			minL, nL := p.limitSpan(reqs[k], decs[k].Choice)
+			llp := s.Alloc(nL)
+			rowOff := k * p.Cfg.NumLimits
+			nn.LogSoftmaxInto(llp, out.Data[rowOff+minL-1:rowOff+p.Cfg.NumLimits])
+			lprobs := s.Alloc(nL)
+			for i := range lprobs {
+				lprobs[i] = math.Exp(llp[i])
+			}
+			decs[k].Limit = minL + sample(lprobs, rngs[k], reqs[k].Greedy)
+		}
+		return
+	}
+	// Limit-as-input design: one row per admissible limit per request, all
+	// stacked into a single W forward, segmented per request.
+	wIn := p.W.InDim()
+	start := make([]int, n+1)
+	total := 0
+	for k := range reqs {
+		start[k] = total
+		_, nL := p.limitSpan(reqs[k], decs[k].Choice)
+		total += nL
+	}
+	start[n] = total
+	rows := s.AllocTensor(total, wIn)
+	for k := range reqs {
+		ctx := p.limitContextInference(embs[k], reqs[k].Cands[decs[k].Choice], s)
+		minL, nL := p.limitSpan(reqs[k], decs[k].Choice)
+		for i := 0; i < nL; i++ {
+			row := rows.Data[(start[k]+i)*wIn : (start[k]+i+1)*wIn]
+			copy(row, ctx.Data)
+			row[wIn-1] = float64(minL+i) / float64(p.Cfg.NumLimits)
+		}
+	}
+	out := p.W.ForwardInference(rows, s) // total×1
+	for k := range reqs {
+		minL, nL := p.limitSpan(reqs[k], decs[k].Choice)
+		llp := s.Alloc(nL)
+		nn.LogSoftmaxInto(llp, out.Data[start[k]:start[k+1]])
+		lprobs := s.Alloc(nL)
+		for i := range lprobs {
+			lprobs[i] = math.Exp(llp[i])
+		}
+		decs[k].Limit = minL + sample(lprobs, rngs[k], reqs[k].Greedy)
+	}
+}
+
+// batchClasses runs the executor-class head (multi-resource setting) for the
+// requests that have eligible classes, stacked into one C forward.
+func (p *Policy) batchClasses(embs []*gnn.Embeddings, reqs []Request, rngs []*rand.Rand, decs []Decision, s *nn.Scratch) {
+	if p.C == nil {
+		return
+	}
+	cIn := p.C.InDim()
+	start := make([]int, 0, len(reqs)+1)
+	var who []int   // request index per segment
+	var ids [][]int // eligible class ids per segment
+	total := 0
+	for k := range reqs {
+		classOK := reqs[k].ClassOK
+		if reqs[k].ClassOKPer != nil {
+			classOK = reqs[k].ClassOKPer[decs[k].Choice]
+		}
+		if len(classOK) == 0 {
+			continue
+		}
+		var eligible []int
+		for ci, ok := range classOK {
+			if ok {
+				eligible = append(eligible, ci)
+			}
+		}
+		if len(eligible) == 0 {
+			continue
+		}
+		start = append(start, total)
+		who = append(who, k)
+		ids = append(ids, eligible)
+		total += len(eligible)
+	}
+	if len(who) == 0 {
+		return
+	}
+	start = append(start, total)
+	rows := s.AllocTensor(total, cIn)
+	for si, k := range who {
+		emb := embs[k]
+		dy := emb.Jobs.Cols
+		dz := emb.Global.Cols
+		chosen := reqs[k].Cands[decs[k].Choice]
+		for i, ci := range ids[si] {
+			row := rows.Data[(start[si]+i)*cIn : (start[si]+i+1)*cIn]
+			copy(row[:dy], emb.Jobs.Data[chosen.JobIdx*dy:(chosen.JobIdx+1)*dy])
+			copy(row[dy:dy+dz], emb.Global.Data)
+			row[cIn-1] = reqs[k].ClassMem[ci]
+		}
+	}
+	out := p.C.ForwardInference(rows, s) // total×1
+	for si, k := range who {
+		m := len(ids[si])
+		clp := s.Alloc(m)
+		nn.LogSoftmaxInto(clp, out.Data[start[si]:start[si+1]])
+		cp := s.Alloc(m)
+		for i := range cp {
+			cp[i] = math.Exp(clp[i])
+		}
+		decs[k].Class = ids[si][sample(cp, rngs[k], reqs[k].Greedy)]
+	}
+}

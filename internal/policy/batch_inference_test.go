@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/nn"
+)
+
+// TestDecideInferenceBatchBitIdentical runs randomized batches of
+// independent requests through DecideInferenceBatch and requires every
+// request's decision — action, node probabilities and RNG consumption — to
+// match a sequential DecideInference call bit for bit, across all policy
+// design variants (limit-as-input, NoLimitInput, stage-level limits, class
+// head) and both greedy and sampled requests.
+func TestDecideInferenceBatchBitIdentical(t *testing.T) {
+	variants := []Config{
+		{EmbedDim: 4, Hidden: []int{8}, NumLimits: 10},
+		{EmbedDim: 4, Hidden: []int{8}, NumLimits: 10, NoLimitInput: true},
+		{EmbedDim: 4, Hidden: []int{8}, NumLimits: 10, StageLevelLimits: true},
+		{EmbedDim: 4, Hidden: []int{8}, NumLimits: 6, NumClasses: 3},
+	}
+	for vi, cfg := range variants {
+		_, p, emb, cands := setup(t, cfg)
+		rng := rand.New(rand.NewSource(int64(500 + vi)))
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(5)
+			embs := make([]*gnn.Embeddings, n)
+			reqs := make([]Request, n)
+			batchRNGs := make([]*rand.Rand, n)
+			seqRNGs := make([]*rand.Rand, n)
+			for k := 0; k < n; k++ {
+				// Every request sees the same embeddings but its own candidate
+				// subset, masks and RNG stream.
+				embs[k] = emb
+				nc := 1 + rng.Intn(len(cands))
+				req := Request{Cands: cands[:nc], Greedy: rng.Intn(2) == 0}
+				if rng.Intn(2) == 0 {
+					req.MinLimits = make([]int, nc)
+					for i := range req.MinLimits {
+						req.MinLimits[i] = 1 + rng.Intn(cfg.NumLimits)
+					}
+				} else {
+					req.MinLimit = 1 + rng.Intn(cfg.NumLimits)
+				}
+				if cfg.NumClasses > 1 {
+					req.ClassMem = []float64{1, 2, 4}
+					req.ClassOKPer = make([][]bool, nc)
+					for i := range req.ClassOKPer {
+						ok := make([]bool, cfg.NumClasses)
+						for c := range ok {
+							ok[c] = rng.Intn(2) == 0
+						}
+						req.ClassOKPer[i] = ok
+					}
+				}
+				reqs[k] = req
+				seed := rng.Int63()
+				batchRNGs[k] = rand.New(rand.NewSource(seed))
+				seqRNGs[k] = rand.New(rand.NewSource(seed))
+			}
+			var bs nn.Scratch
+			got := p.DecideInferenceBatch(embs, reqs, batchRNGs, &bs)
+			for k := 0; k < n; k++ {
+				var ss nn.Scratch
+				want := p.DecideInference(embs[k], reqs[k], seqRNGs[k], &ss)
+				if got[k].Choice != want.Choice || got[k].Limit != want.Limit || got[k].Class != want.Class {
+					t.Fatalf("variant %d trial %d req %d: batched action (%d,%d,%d) != sequential (%d,%d,%d)",
+						vi, trial, k, got[k].Choice, got[k].Limit, got[k].Class, want.Choice, want.Limit, want.Class)
+				}
+				for i := range want.NodeProbs {
+					if math.Float64bits(got[k].NodeProbs[i]) != math.Float64bits(want.NodeProbs[i]) {
+						t.Fatalf("variant %d trial %d req %d: node prob %d differs", vi, trial, k, i)
+					}
+				}
+				// RNG consumption must align exactly: the next draw from both
+				// streams must agree.
+				if batchRNGs[k].Float64() != seqRNGs[k].Float64() {
+					t.Fatalf("variant %d trial %d req %d: RNG streams diverged", vi, trial, k)
+				}
+			}
+		}
+	}
+}

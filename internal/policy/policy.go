@@ -9,6 +9,12 @@
 // output unit per limit, and StageLevelLimits switches limits from job
 // granularity to per-node granularity — the two alternatives whose slower
 // training Fig. 15a demonstrates.
+//
+// Decide builds the tracked (differentiable) graph for training;
+// DecideInference is its bit-identical no-grad fast path;
+// DecideInferenceBatch stacks many independent requests into one forward
+// per head (serving); and ReplayLoss/ReplayDecision rebuild recorded
+// decisions for the batched training backward.
 package policy
 
 import (

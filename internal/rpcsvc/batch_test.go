@@ -1,0 +1,232 @@
+package rpcsvc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// cloneFactory mints per-session clones of one sampled base agent — the
+// cmd/decima-server deployment shape, and the shared parameter lineage the
+// coalescing dispatcher batches across.
+func cloneFactory(base *core.Agent) func(name string, seed int64) (scheduler.Scheduler, error) {
+	return func(name string, seed int64) (scheduler.Scheduler, error) {
+		return base.Clone(rand.New(rand.NewSource(seed))), nil
+	}
+}
+
+// TestBatchedServingBitIdentical drives many concurrent sampled sessions
+// through a coalescing server and compares every session's full noisy run
+// against an in-process reference using an identically seeded clone: the
+// schedules and metrics — and therefore every RNG draw along the way — must
+// match exactly, whatever batch compositions the dispatcher happened to
+// form. Run under -race (make race) this also guards the dispatcher's
+// synchronisation.
+func TestBatchedServingBitIdentical(t *testing.T) {
+	const executors = 8
+	const sessions = 8
+	base := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(77)))
+	base.Greedy = false // sampled: any probability or RNG drift changes the run
+
+	srv, cli := startSessionServer(t, SessionConfig{
+		Default:  "decima",
+		New:      cloneFactory(base),
+		MaxBatch: sessions,
+	})
+
+	// In-process references, sequentially.
+	want := make([]string, sessions)
+	for k := 0; k < sessions; k++ {
+		a := base.Clone(rand.New(rand.NewSource(int64(k + 1))))
+		jobs := workload.Batch(rand.New(rand.NewSource(int64(20+k))), 5)
+		res := sim.New(sim.SparkDefaults(executors), jobs, scheduler.Sim(a), rand.New(rand.NewSource(int64(k)))).Run()
+		if res.Unfinished != 0 || res.Deadlock {
+			t.Fatalf("reference run %d incomplete", k)
+		}
+		want[k] = runKey(res)
+	}
+
+	got := make([]string, sessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for k := 0; k < sessions; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			var rpcErr error
+			ss := &SessionScheduler{Client: cli, Seed: int64(k + 1), OnError: func(e error) { rpcErr = e }}
+			defer ss.Close()
+			jobs := workload.Batch(rand.New(rand.NewSource(int64(20+k))), 5)
+			res := sim.New(sim.SparkDefaults(executors), jobs, ss, rand.New(rand.NewSource(int64(k)))).Run()
+			if rpcErr != nil {
+				errs <- rpcErr
+				return
+			}
+			got[k] = runKey(res)
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for k := 0; k < sessions; k++ {
+		if got[k] != want[k] {
+			t.Fatalf("session %d: batched serving diverged from in-process reference:\n%s\nvs\n%s", k, got[k], want[k])
+		}
+	}
+
+	st := srv.svc.batch.snapshot()
+	if st.events == 0 {
+		t.Fatal("no decisions went through the coalescing dispatcher")
+	}
+	if st.coalesced == 0 {
+		t.Fatalf("dispatcher never coalesced (%d rounds for %d events) — the test exercised nothing", st.rounds, st.events)
+	}
+	t.Logf("dispatcher: %d events in %d rounds, %d coalesced, largest batch %d", st.events, st.rounds, st.coalesced, st.largest)
+}
+
+// TestEvictionWhileBatched hammers a tiny session table with concurrent
+// decima sessions so LRU evictions race events that are parked inside the
+// coalescing dispatcher. The invariants: the bound holds, errors are only
+// the documented unknown-session kind (after which reopening works), and
+// nothing deadlocks — an eviction that hits a parked session must simply
+// wait for its in-flight decision, not cycle with the dispatcher.
+func TestEvictionWhileBatched(t *testing.T) {
+	const executors = 4
+	base := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(99)))
+	srv, cli := startSessionServer(t, SessionConfig{
+		Default:     "decima",
+		New:         cloneFactory(base),
+		MaxSessions: 2,
+		IdleTimeout: -1,
+		MaxBatch:    8,
+	})
+
+	st := func() *sim.State {
+		js := jobStateFromInfo(&JobInfo{ID: 1, Stages: []StageInfo{{ID: 0, NumTasks: 2, TaskDuration: 1, CPUReq: 1}}})
+		return &sim.State{
+			Jobs:           []*sim.JobState{js},
+			FreeExecutors:  []*sim.Executor{{ID: 0, Mem: 1}},
+			TotalExecutors: executors,
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	fails := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				sess, err := cli.OpenSession(&OpenRequest{TotalExecutors: executors, Seed: int64(w + 1)})
+				if err != nil {
+					fails <- err
+					return
+				}
+				for e := 0; e < 3; e++ {
+					if _, err := sess.Event(st()); err != nil {
+						break // evicted while (possibly) parked: reopen next round
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(fails)
+	for err := range fails {
+		t.Fatal(err)
+	}
+	if got := srv.Sessions(); got > 2 {
+		t.Fatalf("session table exceeded bound: %d > 2", got)
+	}
+}
+
+// TestServerCloseWithParkedEvents shuts a coalescing server down while
+// clients are mid-run: every in-flight decision must be answered or fail
+// with a connection error — never hang on a dead dispatcher.
+func TestServerCloseWithParkedEvents(t *testing.T) {
+	const executors = 6
+	base := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(5)))
+	srv, err := ListenAndServeSessions("127.0.0.1:0", SessionConfig{
+		Default:  "decima",
+		New:      cloneFactory(base),
+		MaxBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ss := &SessionScheduler{Client: cli, Seed: int64(c + 1), OnError: func(error) {}}
+			jobs := workload.Batch(rand.New(rand.NewSource(int64(c))), 3)
+			// The run may finish degraded (declined events after Close): the
+			// only failure mode under test is a hang.
+			sim.New(sim.SparkDefaults(executors), jobs, ss, rand.New(rand.NewSource(int64(c)))).Run()
+		}(c)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// The stopped dispatcher must refuse politely, not deadlock.
+	if _, served := srv.svc.batch.decide(nil, nil); served {
+		t.Fatal("stopped batcher served a request")
+	}
+}
+
+// TestBatcherDrainOnClose pins the shutdown contract at the batcher level:
+// requests parked before close are still served, requests after close are
+// refused (ok=false), and close is idempotent.
+func TestBatcherDrainOnClose(t *testing.T) {
+	const executors = 6
+	base := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(15)))
+	b := newBatcher(0, 4)
+
+	jobs := workload.Batch(rand.New(rand.NewSource(3)), 2)
+	var mu sync.Mutex
+	acted := 0
+	probe := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
+		act, ok := b.decide(base, s)
+		if !ok {
+			act = base.Schedule(s) // post-close fallback, as session.event does
+		} else {
+			mu.Lock()
+			acted++
+			mu.Unlock()
+		}
+		return act
+	})
+	res := sim.New(sim.SparkDefaults(executors), jobs, probe, rand.New(rand.NewSource(4))).Run()
+	if res.Unfinished != 0 || res.Deadlock {
+		t.Fatalf("run incomplete: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+	if acted == 0 {
+		t.Fatal("batcher served nothing")
+	}
+	b.close()
+	b.close() // idempotent
+	if _, ok := b.decide(base, nil); ok {
+		t.Fatal("closed batcher accepted a request")
+	}
+	if st := b.snapshot(); st.events != uint64(acted) {
+		t.Fatalf("stats events=%d, served %d", st.events, acted)
+	}
+}

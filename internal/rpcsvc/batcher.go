@@ -1,0 +1,213 @@
+package rpcsvc
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+// The coalescing dispatcher: cross-session request batching for serving.
+//
+// Every session decides with its own agent clone, so under concurrent load
+// the server used to run one GNN + policy forward per in-flight event even
+// though all clones share identical parameters. The batcher sits in front of
+// the decide step: an event that reaches it parks its decision request in a
+// queue, and a single dispatcher goroutine drains the queue into
+// core.DecideBatch calls — one stacked inference forward per drained batch.
+//
+// Latency discipline: there is no fixed ticking window. When the queue is
+// empty the dispatcher is idle and a lone request is decided immediately
+// (zero added delay — single-client latency does not regress). Coalescing
+// emerges adaptively: while one batch computes, concurrent events queue up
+// and the next drain takes them all (up to max). A non-zero window adds one
+// extra wait — only when a drain already holds ≥2 requests but fewer than
+// max — to let stragglers join; it is an optional knob, not a heartbeat.
+//
+// Correctness: per-session results are bit-identical to the unbatched path
+// in any batching composition (core.DecideBatch's contract — agents with a
+// foreign parameter lineage or non-agent schedulers simply never reach the
+// batcher). Each parked event still holds its session lock, so a session
+// has at most one request in flight and nothing else touches its agent —
+// exactly the exclusivity DecideBatch requires. Eviction of a session whose
+// event is parked blocks on that lock until the decision completes, then
+// proceeds; the dispatcher itself takes no session or table locks, so no
+// cycle exists.
+
+// DefaultMaxBatch bounds one coalesced decide when SessionConfig leaves
+// MaxBatch zero.
+const DefaultMaxBatch = 32
+
+// batchCall is one parked decision request.
+type batchCall struct {
+	item core.BatchItem
+	done chan struct{}
+	act  *sim.Action
+}
+
+// batchStats counts dispatcher activity (dispatcher-goroutine writes only).
+type batchStats struct {
+	events    uint64 // requests decided through the batcher
+	rounds    uint64 // DecideBatch invocations
+	coalesced uint64 // rounds holding ≥2 requests
+	largest   int    // largest round so far
+}
+
+// batcher coalesces concurrent session decisions into stacked forwards.
+type batcher struct {
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	queue   []*batchCall
+	stopped bool
+
+	wake chan struct{} // buffered(1): queue became non-empty
+	quit chan struct{}
+	done chan struct{} // dispatcher exited
+
+	scratch nn.Scratch // owned by the dispatcher goroutine
+
+	statMu sync.Mutex
+	stats  batchStats
+}
+
+func newBatcher(window time.Duration, max int) *batcher {
+	b := &batcher{
+		window: window,
+		max:    max,
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// decide parks one request until the dispatcher serves it. ok is false when
+// the batcher is shut down — the caller then decides inline on the
+// sequential path (identical result).
+func (b *batcher) decide(a *core.Agent, st *sim.State) (act *sim.Action, ok bool) {
+	c := &batchCall{item: core.BatchItem{Agent: a, State: st}, done: make(chan struct{})}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return nil, false
+	}
+	b.queue = append(b.queue, c)
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	<-c.done
+	return c.act, true
+}
+
+// take pops up to n parked requests.
+func (b *batcher) take(n int) []*batchCall {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > len(b.queue) {
+		n = len(b.queue)
+	}
+	if n == 0 {
+		return nil
+	}
+	batch := make([]*batchCall, n)
+	copy(batch, b.queue[:n])
+	rest := copy(b.queue, b.queue[n:])
+	// Nil the compacted tail: drained calls must not stay reachable through
+	// the backing array (each pins a full sim.State mirror).
+	for i := rest; i < len(b.queue); i++ {
+		b.queue[i] = nil
+	}
+	b.queue = b.queue[:rest]
+	return batch
+}
+
+// loop is the dispatcher: drain, decide, repeat. On quit it serves whatever
+// is still parked (those callers hold session locks and must be answered),
+// then exits.
+func (b *batcher) loop() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.wake:
+		case <-b.quit:
+			for {
+				batch := b.take(b.max)
+				if len(batch) == 0 {
+					return
+				}
+				b.run(batch)
+			}
+		}
+		// One scheduling round for peers before draining: the goroutine that
+		// enqueued readied us immediately, but its fellow handlers may be
+		// runnable right behind it — without this, a single-CPU process
+		// would drain one request per round and never coalesce. For a lone
+		// client the yield is a sub-microsecond no-op.
+		runtime.Gosched()
+		for {
+			batch := b.take(b.max)
+			if len(batch) == 0 {
+				break
+			}
+			if b.window > 0 && len(batch) > 1 && len(batch) < b.max {
+				// Evidence of concurrency but an unfilled batch: wait once for
+				// stragglers. A lone request never sleeps.
+				time.Sleep(b.window)
+				batch = append(batch, b.take(b.max-len(batch))...)
+			}
+			b.run(batch)
+		}
+	}
+}
+
+// run decides one drained batch and releases its callers.
+func (b *batcher) run(batch []*batchCall) {
+	items := make([]core.BatchItem, len(batch))
+	for i, c := range batch {
+		items[i] = c.item
+	}
+	acts := core.DecideBatch(items, &b.scratch)
+	for i, c := range batch {
+		c.act = acts[i]
+		close(c.done)
+	}
+	b.statMu.Lock()
+	b.stats.events += uint64(len(batch))
+	b.stats.rounds++
+	if len(batch) > 1 {
+		b.stats.coalesced++
+	}
+	if len(batch) > b.stats.largest {
+		b.stats.largest = len(batch)
+	}
+	b.statMu.Unlock()
+}
+
+// snapshot returns the dispatcher counters.
+func (b *batcher) snapshot() batchStats {
+	b.statMu.Lock()
+	defer b.statMu.Unlock()
+	return b.stats
+}
+
+// close stops accepting requests, serves everything already parked, and
+// waits for the dispatcher to exit. Idempotent.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+	close(b.quit)
+	<-b.done
+}

@@ -2,6 +2,8 @@ package rpcsvc
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -91,3 +93,75 @@ func BenchmarkServeSession(b *testing.B) {
 	defer srv.Close()
 	benchServe(b, func(cli *Client) sim.Scheduler { return &SessionScheduler{Client: cli} }, srv)
 }
+
+// benchServeConcurrent drives benchConcurrency full simulations at once,
+// each over its own session (own connection, own agent clone) against one
+// server, and reports the aggregate per-event serving latency and event
+// throughput. maxBatch toggles the coalescing dispatcher: 1 reproduces the
+// pre-batching deployment (per-event decides on per-connection goroutines),
+// 0 the post-batching default.
+const benchConcurrency = 16
+
+func benchServeConcurrent(b *testing.B, maxBatch int) {
+	base := benchAgent()
+	srv, err := ListenAndServeSessions("127.0.0.1:0", SessionConfig{
+		Default:  "decima",
+		MaxBatch: maxBatch,
+		New: func(name string, seed int64) (scheduler.Scheduler, error) {
+			return base.Clone(rand.New(rand.NewSource(seed))), nil
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A heavier in-flight job mix than the single-session benchmark: decide
+	// cost grows with jobs in system, which is exactly the regime concurrent
+	// serving (and the batcher) targets.
+	jobs := workload.Batch(rand.New(rand.NewSource(7)), 20)
+	cfg := sim.SparkDefaults(benchExecutors)
+
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < benchConcurrency; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cli, err := Dial(srv.Addr())
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer cli.Close()
+				ss := &SessionScheduler{Client: cli, Seed: int64(c + 1)}
+				res := sim.New(cfg, workload.CloneAll(jobs), ss, rand.New(rand.NewSource(int64(c)))).Run()
+				if res.Unfinished != 0 || res.Deadlock {
+					b.Errorf("session %d: unfinished=%d deadlock=%v", c, res.Unfinished, res.Deadlock)
+					return
+				}
+				atomic.AddInt64(&events, int64(res.Invocations))
+				if err := ss.Close(); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if n := atomic.LoadInt64(&events); n > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/event")
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
+
+// BenchmarkServeSessionConcurrent measures coalesced concurrent serving:
+// 16 sessions at once, decisions batched into stacked forwards.
+func BenchmarkServeSessionConcurrent(b *testing.B) { benchServeConcurrent(b, 0) }
+
+// BenchmarkServeSessionConcurrentUnbatched is the same load with the
+// dispatcher disabled — the pre-batching serving path, for the before/after
+// comparison in BENCH_serving.json.
+func BenchmarkServeSessionConcurrentUnbatched(b *testing.B) { benchServeConcurrent(b, 1) }

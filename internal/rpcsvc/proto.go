@@ -21,9 +21,17 @@
 //     the agent's incremental per-job embedding cache is sound in serving,
 //     converting the offline inference fast path into serving throughput.
 //
+// Under concurrent load the server coalesces decisions across sessions: a
+// dispatcher (batcher.go) drains concurrent events into stacked inference
+// forwards (core.DecideBatch) with per-session results bit-identical to
+// unbatched serving, zero added latency for a lone client, and ordering,
+// locking and eviction semantics unchanged.
+//
 // A RemoteScheduler (v1) or SessionScheduler (v2) client implements
 // sim.Scheduler, so an entire simulation can be driven by a Decima agent
-// living in another process.
+// living in another process. The wire protocol — schemas, seq ordering,
+// eviction rules, batching semantics — is specified in docs/PROTOCOL.md at
+// the repository root.
 package rpcsvc
 
 import (

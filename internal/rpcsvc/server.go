@@ -28,6 +28,16 @@ type SessionConfig struct {
 	// IdleTimeout evicts sessions with no event for this long. 0 selects
 	// DefaultIdleTimeout, negative disables idle eviction.
 	IdleTimeout time.Duration
+	// MaxBatch caps how many concurrent session decisions coalesce into one
+	// stacked inference forward (see batcher.go). 0 selects DefaultMaxBatch;
+	// 1 or negative disables coalescing entirely (every event decides on its
+	// own goroutine, the pre-batching behaviour).
+	MaxBatch int
+	// BatchWindow adds one optional wait — only when a drained batch already
+	// holds at least two requests but fewer than MaxBatch — for stragglers
+	// to join. 0 (the default) relies purely on adaptive coalescing; a lone
+	// request is never delayed either way.
+	BatchWindow time.Duration
 }
 
 // DefaultMaxSessions bounds the session table when SessionConfig leaves
@@ -57,6 +67,10 @@ type Decima struct {
 	shim   scheduler.Scheduler
 	shimMu sync.Mutex
 	tbl    *sessionTable
+	// batch, when non-nil, coalesces concurrent per-session agent decisions
+	// into stacked forwards (factory mode only; the legacy shared-scheduler
+	// mode serialises decisions and cannot batch).
+	batch *batcher
 }
 
 // NewDecima wraps one scheduler instance as the service object: all
@@ -92,7 +106,27 @@ func NewDecimaSessions(cfg SessionConfig) *Decima {
 			return scheduler.New(name, scheduler.Options{Seed: seed})
 		}
 	}
-	return &Decima{factory: factory, defName: cfg.Default, tbl: newSessionTable(max, idle)}
+	d := &Decima{factory: factory, defName: cfg.Default, tbl: newSessionTable(max, idle)}
+	maxBatch := cfg.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if maxBatch > 1 {
+		d.batch = newBatcher(cfg.BatchWindow, maxBatch)
+	}
+	return d
+}
+
+// Stop shuts down the service object's background machinery (the
+// coalescing dispatcher goroutine NewDecimaSessions starts when batching
+// is enabled). Parked decisions are served before it returns; events
+// arriving afterwards decide inline on the sequential path. Idempotent.
+// Server.Close calls it; callers registering a Decima on their own
+// rpc.Server must call it themselves when done.
+func (d *Decima) Stop() {
+	if d.batch != nil {
+		d.batch.close()
+	}
 }
 
 // newScheduler mints the scheduler for one session (or one stateless
@@ -143,7 +177,7 @@ func (d *Decima) Event(req *EventRequest, resp *EventResponse) error {
 	if err != nil {
 		return err
 	}
-	r, err := sess.event(req)
+	r, err := sess.event(req, d.batch)
 	if err != nil {
 		return err
 	}
@@ -192,7 +226,7 @@ func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
 	for i := range req.Jobs {
 		ev.Order = append(ev.Order, req.Jobs[i].ID)
 	}
-	r, err := sess.event(ev)
+	r, err := sess.event(ev, nil) // shim shares one scheduler: never batched
 	if err != nil {
 		return err
 	}
@@ -320,5 +354,8 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.lis.Close()
 	s.wg.Wait()
+	// Connections are severed; stop the dispatcher (it serves anything
+	// still parked, and any straggling handler decides inline).
+	s.svc.Stop()
 	return err
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 )
@@ -35,12 +36,15 @@ type session struct {
 // event applies one delta to the mirror and asks the scheduler for the next
 // action. It holds the session lock for the whole apply+decide so
 // concurrent events on one session serialise; events on different sessions
-// run in parallel (unless they share a scheduler via decideMu).
+// run in parallel (unless they share a scheduler via decideMu). When b is
+// non-nil and the session's scheduler is a per-session Decima agent, the
+// decision detours through the coalescing dispatcher so concurrent events
+// share one stacked forward — with bit-identical per-session results.
 //
 // The request is validated in full before anything mutates — a rejected
 // event leaves the mirror (and seq) exactly as the client's shadow has it,
 // so one bad request can never wedge an otherwise healthy session.
-func (s *session) event(req *EventRequest) (*ScheduleResponse, error) {
+func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -120,6 +124,17 @@ func (s *session) event(req *EventRequest) (*ScheduleResponse, error) {
 	if s.decideMu != nil {
 		s.decideMu.Lock()
 		defer s.decideMu.Unlock()
+	}
+	if b != nil && s.decideMu == nil {
+		// Per-session agent instances may coalesce: the event keeps holding
+		// s.mu while parked, so nothing else touches this agent (or mirror)
+		// until the batch answers. A stopped batcher falls through to the
+		// sequential decide below — same result.
+		if ag, ok := s.sched.(*core.Agent); ok {
+			if act, served := b.decide(ag, state); served {
+				return ResponseFromAction(act), nil
+			}
+		}
 	}
 	act, err := s.sched.Decide(state)
 	if err != nil {
