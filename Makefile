@@ -41,6 +41,9 @@ docs-check:
 # episode replay backward) on the batched replay vs the per-decision
 # direct-tape reference; ns/op, allocs/op and the "episodes/sec" extra
 # metric are the numbers the ≥3× training-throughput bar is judged on.
+# BENCH_kernels.json: raw matmul kernel throughput (the "GFLOP/s" extra
+# metric) at the stack's decision/batch/replay shapes, float64 vs float32
+# storage, plus the -matmul-workers scaling sweep; see docs/KERNELS.md.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferenceDecision' -benchtime=200x ./internal/core/ > bench-core.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig9a$$' -benchtime=1x . > bench-fig9a.out
@@ -49,8 +52,10 @@ bench-json:
 	cat bench-serving.out | $(GO) run ./cmd/benchjson > BENCH_serving.json
 	$(GO) test -run '^$$' -bench 'BenchmarkTrainIteration' -benchtime=5x ./internal/rl/ > bench-training.out
 	cat bench-training.out | $(GO) run ./cmd/benchjson > BENCH_training.json
-	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out
-	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchtime=100x ./internal/nn/ > bench-kernels.out
+	cat bench-kernels.out | $(GO) run ./cmd/benchjson > BENCH_kernels.json
+	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out
+	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json
 
 # End-to-end smoke of the serving binary: build decima-server, start it as
 # a real process, open a session over TCP, drive ≥100 scheduling events,

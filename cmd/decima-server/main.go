@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/nn"
 	"repro/internal/rpcsvc"
 	"repro/internal/scheduler"
 )
@@ -44,8 +45,12 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", rpcsvc.DefaultIdleTimeout, "evict sessions idle for this long (<0 never)")
 		maxBatch    = flag.Int("max-batch", rpcsvc.DefaultMaxBatch, "max concurrent decima decisions coalesced into one stacked forward (<=1 disables batching)")
 		batchWindow = flag.Duration("batch-window", 0, "extra wait for stragglers once >=2 decisions are queued (0 = adaptive only; lone requests are never delayed)")
+		f32         = flag.Bool("f32", false, "float32 inference storage (tolerance-bounded, see docs/KERNELS.md; off = bitwise float64)")
+		matmulWk    = flag.Int("matmul-workers", 0, "matmul kernel workers for tall stacked forwards (0 = one per CPU; results identical for any value)")
 	)
 	flag.Parse()
+	nn.SetInference32(*f32)
+	nn.SetMatMulWorkers(*matmulWk)
 	if *maxBatch < 1 {
 		// SessionConfig treats 0 as "default"; the flag contract is that
 		// anything ≤1 disables batching, so normalise before building it.

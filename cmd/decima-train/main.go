@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/nn"
 	"repro/internal/rl"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -43,8 +44,12 @@ func main() {
 		curve     = flag.String("curve", "", "optional learning-curve CSV output path")
 		logEvery  = flag.Int("log-every", 10, "print stats every N iterations")
 		evalVs    = flag.String("eval-against", "", "after training, evaluate the model head-to-head against these comma-separated registry schedulers on held-out sequences")
+		f32       = flag.Bool("f32", false, "float32 storage for no-grad evaluation forwards (tolerance-bounded; training gradients always run float64)")
+		matmulWk  = flag.Int("matmul-workers", 0, "matmul kernel workers for tall stacked forwards (0 = one per CPU; results identical for any value)")
 	)
 	flag.Parse()
+	nn.SetInference32(*f32)
+	nn.SetMatMulWorkers(*matmulWk)
 
 	acfg := core.DefaultConfig(*executors)
 	agent := core.New(acfg, rand.New(rand.NewSource(*seed)))

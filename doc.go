@@ -7,8 +7,9 @@
 // system inventory and the performance-sensitive designs (fast paths,
 // caching, batched training and serving), EXPERIMENTS.md for the paper
 // figure/table ↔ experiment/benchmark mapping with current measured
-// numbers, and docs/PROTOCOL.md for the RPC scheduling service's wire
-// protocol. The repository-level benchmarks (bench_test.go) regenerate
+// numbers, docs/KERNELS.md for the numeric kernel layer (blocked parallel
+// matmul, float32 inference storage, benchmark artifacts), and
+// docs/PROTOCOL.md for the RPC scheduling service's wire protocol. The repository-level benchmarks (bench_test.go) regenerate
 // every table and figure of the paper's evaluation at a small scale;
 // cmd/decima-bench runs them at larger scales.
 package repro

@@ -44,6 +44,103 @@ type BatchItem struct {
 	State *sim.State
 }
 
+// prep is one request that joined the batch.
+type prep struct {
+	idx     int // index into items (and the returned actions)
+	a       *Agent
+	state   *sim.State
+	stages  []*sim.StageState
+	req     policy.Request
+	jobBase int // first row of this request in the stacked job matrix
+	emb     *gnn.Embeddings
+}
+
+// missRef is one cache-stale job joining the multi-graph embedding forward.
+type missRef struct {
+	prep      int
+	job       int // index into state.Jobs
+	js        *sim.JobState
+	freeTotal int
+	local     float64
+}
+
+// BatchScratch is the reusable working state of DecideBatch: the tensor
+// arena the stacked forwards draw from plus every per-round bookkeeping
+// slice. The serving dispatcher owns one for its whole lifetime, so a warm
+// coalescing round allocates only what escapes by design (actions and cache
+// entries). A BatchScratch is owned by one goroutine at a time and must not
+// be shared concurrently — the same rule as nn.Scratch.
+type BatchScratch struct {
+	nn nn.Scratch
+
+	acts       []*sim.Action
+	preps      []prep
+	misses     []missRef
+	missGraphs []*gnn.Graph
+	seg        []int
+	embs       []*gnn.Embeddings
+	reqs       []policy.Request
+	rngs       []*rand.Rand
+}
+
+// reset prepares the scratch for a new round, dropping pointers retained
+// from the previous one (each pinned a full sim.State mirror or an agent).
+// The action slice is the exception: it is the previous round's return value
+// and is only released here, at the start of the next round.
+func (bs *BatchScratch) reset(n int) {
+	bs.nn.Reset()
+	for i := range bs.acts {
+		bs.acts[i] = nil
+	}
+	if cap(bs.acts) < n {
+		bs.acts = make([]*sim.Action, n)
+	}
+	bs.acts = bs.acts[:n]
+	for i := range bs.preps {
+		bs.preps[i] = prep{}
+	}
+	bs.preps = bs.preps[:0]
+	for i := range bs.misses {
+		bs.misses[i] = missRef{}
+	}
+	bs.misses = bs.misses[:0]
+	for i := range bs.missGraphs {
+		bs.missGraphs[i] = nil
+	}
+	bs.missGraphs = bs.missGraphs[:0]
+	bs.seg = bs.seg[:0]
+}
+
+// finish clears the pointer-bearing slices that are no longer needed once
+// the round's actions are built. acts intentionally survives — it is the
+// return value.
+func (bs *BatchScratch) finish() {
+	for i := range bs.preps {
+		bs.preps[i] = prep{}
+	}
+	bs.preps = bs.preps[:0]
+	for i := range bs.misses {
+		bs.misses[i] = missRef{}
+	}
+	bs.misses = bs.misses[:0]
+	for i := range bs.missGraphs {
+		bs.missGraphs[i] = nil
+	}
+	bs.missGraphs = bs.missGraphs[:0]
+	for i := range bs.embs {
+		bs.embs[i] = nil
+	}
+	bs.embs = bs.embs[:0]
+	for i := range bs.reqs {
+		bs.reqs[i] = policy.Request{}
+	}
+	bs.reqs = bs.reqs[:0]
+	for i := range bs.rngs {
+		bs.rngs[i] = nil
+	}
+	bs.rngs = bs.rngs[:0]
+}
+
 // DecideBatch decides every item, coalescing as many as possible into one
 // stacked inference forward. Items fall back to a plain sequential
 // Agent.Schedule call — with identical results — when they cannot join the
@@ -52,13 +149,15 @@ type BatchItem struct {
 // forward runs on one parameter set; only agents holding identical values —
 // New/Clone/SyncFrom lineage — may share it).
 //
-// The scratch arena s backs the batch's tensors and is reset on entry; it
-// must be owned by the caller (never an item's agent) and must not be used
-// concurrently. DecideBatch must not run concurrently with any other use of
-// the items' agents — in the serving dispatcher each in-flight event holds
-// its session lock, which guarantees exactly that.
-func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
-	acts := make([]*sim.Action, len(items))
+// The scratch bs backs the batch's tensors and bookkeeping and is reset on
+// entry; it must be owned by the caller (never an item's agent) and must not
+// be used concurrently. The returned slice is bs-owned and valid until the
+// next DecideBatch call on bs. DecideBatch must not run concurrently with
+// any other use of the items' agents — in the serving dispatcher each
+// in-flight event holds its session lock, which guarantees exactly that.
+func DecideBatch(items []BatchItem, bs *BatchScratch) []*sim.Action {
+	bs.reset(len(items))
+	acts := bs.acts
 	if len(items) == 1 {
 		// Passthrough: a lone request gains nothing from stacking; the
 		// sequential path is bit-identical and reuses the agent's own arena.
@@ -66,17 +165,7 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 		return acts
 	}
 
-	// prep is one request that joined the batch.
-	type prep struct {
-		idx     int // index into items (and acts)
-		a       *Agent
-		state   *sim.State
-		stages  []*sim.StageState
-		req     policy.Request
-		jobBase int // first row of this request in the stacked job matrix
-		emb     *gnn.Embeddings
-	}
-	var preps []prep
+	s := &bs.nn
 	var owner *Agent // parameter set the stacked forward runs on
 	totalJobs := 0
 	for i, it := range items {
@@ -108,9 +197,10 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 		if classOKs != nil {
 			req.ClassOKPer = classOKs
 		}
-		preps = append(preps, prep{idx: i, a: a, state: st, stages: stages, req: req, jobBase: totalJobs})
+		bs.preps = append(bs.preps, prep{idx: i, a: a, state: st, stages: stages, req: req, jobBase: totalJobs})
 		totalJobs += len(st.Jobs)
 	}
+	preps := bs.preps
 	if len(preps) == 0 {
 		return acts
 	}
@@ -119,18 +209,8 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 	// stacked matrix so the global summaries recombine in a single pass;
 	// cache-warm jobs fill their rows from the cache, stale jobs join the
 	// multi-graph batch forward.
-	s.Reset()
 	d := owner.Cfg.EmbedDim
 	allJobs := s.AllocTensor(totalJobs, d)
-	type missRef struct {
-		prep      int
-		job       int // index into state.Jobs
-		js        *sim.JobState
-		freeTotal int
-		local     float64
-	}
-	var misses []missRef
-	var missGraphs []*gnn.Graph
 	for pi := range preps {
 		pr := &preps[pi]
 		a, st := pr.a, pr.state
@@ -143,8 +223,8 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 			freeTotal, local := featureKeyInputs(st, j)
 			ent := a.cacheFor(j).lookup(j.Version, freeTotal, local)
 			if ent == nil || a.NoCache {
-				misses = append(misses, missRef{prep: pi, job: ji, js: j, freeTotal: freeTotal, local: local})
-				missGraphs = append(missGraphs, gnn.NewGraph(j.Job, a.Features(st, j)))
+				bs.misses = append(bs.misses, missRef{prep: pi, job: ji, js: j, freeTotal: freeTotal, local: local})
+				bs.missGraphs = append(bs.missGraphs, gnn.NewGraph(j.Job, a.Features(st, j)))
 				continue
 			}
 			ent.pass = a.embedPass
@@ -153,6 +233,7 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 		}
 		pr.emb.Jobs = nn.New(len(st.Jobs), d, allJobs.Data[pr.jobBase*d:(pr.jobBase+len(st.Jobs))*d])
 	}
+	misses, missGraphs := bs.misses, bs.missGraphs
 	if len(missGraphs) > 0 {
 		batch := owner.GNN.ForwardBatchInference(missGraphs, s)
 		for mi, m := range misses {
@@ -188,7 +269,10 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 	// One global-summary pass over the stacked per-job rows: request pi's
 	// row sums its own (contiguous) jobs in job order, matching
 	// GlobalInference; nil flat = identity, no gather copy.
-	seg := make([]int, totalJobs)
+	if cap(bs.seg) < totalJobs {
+		bs.seg = make([]int, totalJobs)
+	}
+	seg := bs.seg[:totalJobs]
 	for pi := range preps {
 		base, n := preps[pi].jobBase, len(preps[pi].state.Jobs)
 		for r := base; r < base+n; r++ {
@@ -202,9 +286,15 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 
 	// Policy phase: one stacked forward per head, each request sampling from
 	// its own agent's RNG.
-	embs := make([]*gnn.Embeddings, len(preps))
-	reqs := make([]policy.Request, len(preps))
-	rngs := make([]*rand.Rand, len(preps))
+	if cap(bs.embs) < len(preps) {
+		bs.embs = make([]*gnn.Embeddings, len(preps))
+		bs.reqs = make([]policy.Request, len(preps))
+		bs.rngs = make([]*rand.Rand, len(preps))
+	}
+	embs := bs.embs[:len(preps)]
+	reqs := bs.reqs[:len(preps)]
+	rngs := bs.rngs[:len(preps)]
+	bs.embs, bs.reqs, bs.rngs = embs, reqs, rngs
 	for pi := range preps {
 		embs[pi] = preps[pi].emb
 		reqs[pi] = preps[pi].req
@@ -220,5 +310,6 @@ func DecideBatch(items []BatchItem, s *nn.Scratch) []*sim.Action {
 		}
 		acts[pr.idx] = &sim.Action{Stage: pr.stages[dec.Choice], Limit: limit, Class: dec.Class}
 	}
+	bs.finish()
 	return acts
 }

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/nn"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -18,7 +17,7 @@ type lockstep struct {
 	mu      sync.Mutex
 	live    int
 	pending []lockstepReq
-	scratch nn.Scratch
+	scratch BatchScratch
 }
 
 type lockstepReq struct {
@@ -154,7 +153,7 @@ func TestDecideBatchSingleAndEmpty(t *testing.T) {
 			states = append(states, s)
 			// Decide the captured state through both paths before the sim
 			// mutates it further.
-			var scratch nn.Scratch
+			var scratch BatchScratch
 			got := DecideBatch([]BatchItem{{Agent: a, State: s}}, &scratch)[0]
 			want := b.Schedule(s)
 			if (got == nil) != (want == nil) {
@@ -175,7 +174,7 @@ func TestDecideBatchSingleAndEmpty(t *testing.T) {
 	empty := &sim.State{TotalExecutors: executors}
 	c := base.Clone(rand.New(rand.NewSource(9)))
 	cRef := base.Clone(rand.New(rand.NewSource(9)))
-	var scratch nn.Scratch
+	var scratch BatchScratch
 	acts := DecideBatch([]BatchItem{{Agent: c, State: empty}, {Agent: base.Clone(rand.New(rand.NewSource(11))), State: empty}}, &scratch)
 	if acts[0] != nil || acts[1] != nil {
 		t.Fatal("no-candidate state produced an action")

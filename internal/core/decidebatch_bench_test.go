@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
-
-	"repro/internal/nn"
 )
 
 // BenchmarkDecideBatch pits one coalesced DecideBatch of 16 concurrent
@@ -34,7 +32,7 @@ func BenchmarkDecideBatch(b *testing.B) {
 			}
 		})
 		b.Run(name+"/batched", func(b *testing.B) {
-			var s nn.Scratch
+			var s BatchScratch
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				DecideBatch(items, &s)

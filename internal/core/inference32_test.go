@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestInference32ToleranceOnNoisySim drives a randomized noisy continuous
+// workload with the float64 agent and, at every scheduling decision, embeds
+// the live job graphs through the full GNN twice — float64 reference and
+// float32 storage mode — requiring every node, job and global embedding
+// element to stay within the stated tolerance (nn.Within32Tol). This is the
+// float32 path's equivalence bar on real simulator states: not bitwise, but
+// bounded.
+func TestInference32ToleranceOnNoisySim(t *testing.T) {
+	const executors = 8
+	base := New(DefaultConfig(executors), rand.New(rand.NewSource(21)))
+	driver := base.Clone(rand.New(rand.NewSource(1)))
+	probe := base.Clone(rand.New(rand.NewSource(2))) // embeds on the side, own cache untouched
+
+	var s64, s32 nn.Scratch
+	decisions, checked := 0, 0
+	compare := func(st *sim.State) {
+		if len(st.Jobs) == 0 {
+			return
+		}
+		graphs := make([]*gnn.Graph, len(st.Jobs))
+		for i, j := range st.Jobs {
+			graphs[i] = gnn.NewGraph(j.Job, probe.Features(st, j))
+		}
+		s64.Reset()
+		s32.Reset()
+		want := probe.GNN.ForwardInference(graphs, &s64)
+		var got *gnn.Embeddings
+		nn.Inference32(func() { got = probe.GNN.ForwardInference(graphs, &s32) })
+		for gi := range want.Nodes {
+			for i := range want.Nodes[gi].Data {
+				if !nn.Within32Tol(want.Nodes[gi].Data[i], got.Nodes[gi].Data[i]) {
+					t.Fatalf("decision %d job %d: node emb[%d] f32=%v f64=%v outside tolerance",
+						decisions, gi, i, got.Nodes[gi].Data[i], want.Nodes[gi].Data[i])
+				}
+			}
+		}
+		for i := range want.Jobs.Data {
+			if !nn.Within32Tol(want.Jobs.Data[i], got.Jobs.Data[i]) {
+				t.Fatalf("decision %d: job emb[%d] f32=%v f64=%v outside tolerance",
+					decisions, i, got.Jobs.Data[i], want.Jobs.Data[i])
+			}
+		}
+		for i := range want.Global.Data {
+			if !nn.Within32Tol(want.Global.Data[i], got.Global.Data[i]) {
+				t.Fatalf("decision %d: global emb[%d] f32=%v f64=%v outside tolerance",
+					decisions, i, got.Global.Data[i], want.Global.Data[i])
+			}
+		}
+		checked++
+	}
+	sched := sim.SchedulerFunc(func(st *sim.State) *sim.Action {
+		if decisions%5 == 0 {
+			compare(st)
+		}
+		decisions++
+		return driver.Schedule(st)
+	})
+
+	rng := rand.New(rand.NewSource(33))
+	jobs := workload.Poisson(rng, 8, workload.IATForLoad(0.85, executors))
+	res := sim.New(sim.SparkDefaults(executors), jobs, sched, rand.New(rand.NewSource(34))).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("noisy sim incomplete: deadlock=%v unfinished=%d", res.Deadlock, res.Unfinished)
+	}
+	if checked < 5 {
+		t.Fatalf("only %d embedding comparisons ran — workload too small to exercise the float32 path", checked)
+	}
+}

@@ -7,21 +7,33 @@ import "math"
 // from the scratch arena instead of the garbage-collected heap. It computes
 // bit-identical values to Forward followed by act.apply — the accumulation
 // order over the inner dimension and the activation arithmetic match the
-// tracked ops exactly — but builds no autograd graph.
+// tracked ops exactly — but builds no autograd graph. Tall inputs spread row
+// blocks over the kernel pool (kernel.go); the arena allocation happens
+// before the parallel section and workers write disjoint rows, so the
+// single-owner Scratch contract holds.
 func (l *Linear) ForwardInference(x *Tensor, act Activation, s *Scratch) *Tensor {
 	n, k, m := x.Rows, x.Cols, l.W.Cols
 	w, bias := l.W.Data, l.B.Data
 	data := s.Alloc(n * m)
-	for i := 0; i < n; i++ {
-		xr := x.Data[i*k : (i+1)*k]
+	if workers := kernelWorkers(n, kernelBlockRows, n*k*m); workers <= 1 {
+		matmulRowsF64(data, x.Data, w, k, m, 0, n)
+		applyBiasActF64(data, bias, m, act, 0, n)
+	} else {
+		forEachRowBlock(n, kernelBlockRows, workers, func(lo, hi int) {
+			matmulRowsF64(data, x.Data, w, k, m, lo, hi)
+			applyBiasActF64(data, bias, m, act, lo, hi)
+		})
+	}
+	return New(n, m, data)
+}
+
+// applyBiasActF64 adds the bias row and applies act in place over rows
+// [lo, hi) of the n×m matrix data. The arithmetic per element — add bias,
+// then the activation — matches AddRow followed by the tracked activation
+// ops exactly.
+func applyBiasActF64(data, bias []float64, m int, act Activation, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		or := data[i*m : (i+1)*m]
-		for p := 0; p < k; p++ {
-			av := xr[p]
-			br := w[p*m : (p+1)*m]
-			for j := range or {
-				or[j] += av * br[j]
-			}
-		}
 		switch act {
 		case ActLeakyReLU:
 			for j := range or {
@@ -46,14 +58,19 @@ func (l *Linear) ForwardInference(x *Tensor, act Activation, s *Scratch) *Tensor
 			}
 		}
 	}
-	return New(n, m, data)
 }
 
 // ForwardInference is the network's fused no-grad forward pass: every layer
 // runs matmul+bias+activation in one sweep, all intermediates live in the
-// scratch arena, and the returned tensor is valid until s.Reset. Values are
-// bit-identical to Forward.
+// scratch arena, and the returned tensor is valid until s.Reset. On the
+// default float64 path values are bit-identical to Forward; when the
+// tolerance-bounded float32 storage mode is active (Inference32) the chain
+// runs in float32 and converts back at the network boundary — see
+// inference32.go for the tolerance policy.
 func (m *MLP) ForwardInference(x *Tensor, s *Scratch) *Tensor {
+	if inference32Active() {
+		return m.forwardInference32(x, s)
+	}
 	h := x
 	for i, l := range m.Layers {
 		act := ActIdentity

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInference32Tolerance bounds the float32 inference path against the
+// float64 reference on randomized networks and inputs, per the stated
+// policy: every output element within Inference32RelTol/Inference32AbsTol.
+func TestInference32Tolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, act := range []Activation{ActLeakyReLU, ActTanh, ActSigmoid} {
+		for trial := 0; trial < 5; trial++ {
+			m := NewMLP([]int{9, 32, 16, 8}, act, rng)
+			x := randTensor(rng, 40, 9)
+			var s Scratch
+			want := m.ForwardInference(x, &s)
+			var got *Tensor
+			var s32 Scratch
+			Inference32(func() { got = m.ForwardInference(x, &s32) })
+			for i := range want.Data {
+				if !Within32Tol(want.Data[i], got.Data[i]) {
+					t.Fatalf("act=%d trial=%d: out[%d] = %v vs f64 %v: outside tolerance (rel %g, abs %g)",
+						act, trial, i, got.Data[i], want.Data[i], Inference32RelTol, Inference32AbsTol)
+				}
+			}
+		}
+	}
+}
+
+// TestInference32F64PathUnchanged pins that an active float32 scope leaves
+// the float64 reference bitwise intact: the same forward outside the scope
+// matches the tracked Forward exactly, before and after a float32 run.
+func TestInference32F64PathUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewMLP([]int{6, 16, 4}, ActLeakyReLU, rng)
+	x := randTensor(rng, 10, 6)
+	want := WithNoGrad(func() *Tensor { return m.Forward(x) })
+	var s Scratch
+	Inference32(func() { m.ForwardInference(x, &s) }) // warm shadows inside the scope
+	s.Reset()
+	got := m.ForwardInference(x, &s)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("f64 path perturbed by f32 mode: out[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestInference32ShadowRefresh pins the mutation-count invalidation: after
+// an in-place parameter rewrite through each supported path (optimizer step,
+// CopyParams), the float32 forward must track the new values, not the stale
+// shadow.
+func TestInference32ShadowRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewMLP([]int{5, 12, 3}, ActTanh, rng)
+	x := randTensor(rng, 8, 5)
+	var s Scratch
+	f32 := func() *Tensor {
+		s.Reset()
+		var out *Tensor
+		Inference32(func() { out = m.ForwardInference(x, &s) })
+		return out
+	}
+	f32() // build shadows at the initial parameters
+
+	// Optimizer step: shadows must follow the updated weights.
+	params := m.Params()
+	for _, p := range params {
+		p.ensureGrad()
+		for i := range p.Grad {
+			p.Grad[i] = rng.NormFloat64()
+		}
+	}
+	NewSGD(0.1, 0).Step(params)
+	var want *Tensor
+	Inference(func() { want = m.Forward(x) })
+	got := f32()
+	for i := range want.Data {
+		if !Within32Tol(want.Data[i], got.Data[i]) {
+			t.Fatalf("after SGD step: out[%d] = %v vs f64 %v — stale float32 shadow", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// CopyParams from a freshly initialised twin: again no staleness.
+	m2 := NewMLP([]int{5, 12, 3}, ActTanh, rand.New(rand.NewSource(99)))
+	CopyParams(params, m2.Params())
+	Inference(func() { want = m.Forward(x) })
+	got = f32()
+	for i := range want.Data {
+		if !Within32Tol(want.Data[i], got.Data[i]) {
+			t.Fatalf("after CopyParams: out[%d] = %v vs f64 %v — stale float32 shadow", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestScratchAlloc32 pins the float32 arena: zeroed buffers, reuse after
+// Reset, independence from the float64 slabs.
+func TestScratchAlloc32(t *testing.T) {
+	var s Scratch
+	a := s.Alloc32(100)
+	for i := range a {
+		a[i] = float32(i)
+	}
+	b := s.Alloc32(50)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("Alloc32 returned a non-zeroed buffer")
+		}
+	}
+	f := s.Alloc(10) // float64 side unaffected
+	if len(f) != 10 {
+		t.Fatal("Alloc after Alloc32 misbehaved")
+	}
+	s.Reset()
+	c := s.Alloc32(100)
+	if &c[0] != &a[0] {
+		t.Fatal("Alloc32 did not reuse the slab after Reset")
+	}
+	for _, v := range c {
+		if v != 0 {
+			t.Fatal("Alloc32 reuse returned stale values")
+		}
+	}
+}

@@ -5,70 +5,44 @@ import (
 	"math"
 )
 
-// MatMul returns a×b for a (n×k) and b (k×m).
+// MatMul returns a×b for a (n×k) and b (k×m). Forward and both backwards run
+// on the blocked kernels in kernel.go: register-tiled inner loops, spread
+// over the kernel worker pool for the tall stacked matrices the replay and
+// batch paths produce (small shapes stay single-threaded). Results and
+// gradients are bit-identical to the scalar kernels for any worker count —
+// see kernel.go's equivalence contract.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMul shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	n, k, m := a.Rows, a.Cols, b.Cols
 	data := make([]float64, n*m)
-	for i := 0; i < n; i++ {
-		ar := a.Data[i*k : (i+1)*k]
-		or := data[i*m : (i+1)*m]
-		for p := 0; p < k; p++ {
-			// No zero-skip here: the inner loop is branchless so the kernel
-			// stays in arithmetic lockstep with the fused inference forward
-			// (Linear.ForwardInference), and a data-dependent branch on
-			// dense activations is misprediction bait. BenchmarkMatMul
-			// (Dense and Mixed variants) tracks the trade-off.
-			av := ar[p]
-			br := b.Data[p*m : (p+1)*m]
-			for j := 0; j < m; j++ {
-				or[j] += av * br[j]
-			}
-		}
-	}
+	matmulF64(data, a.Data, b.Data, n, k, m)
 	var out *Tensor
 	back := func() {
 		g := out.Grad
 		if a.requiresGrad {
 			a.ensureGrad()
-			// dA = G · Bᵀ
-			for i := 0; i < n; i++ {
-				gr := g[i*m : (i+1)*m]
-				agr := a.Grad[i*k : (i+1)*k]
-				for p := 0; p < k; p++ {
-					br := b.Data[p*m : (p+1)*m]
-					s := 0.0
-					for j := 0; j < m; j++ {
-						s += gr[j] * br[j]
-					}
-					agr[p] += s
-				}
+			// dA = G · Bᵀ: dA rows are disjoint across blocks.
+			if workers := kernelWorkers(n, kernelBlockRows, n*k*m); workers <= 1 {
+				matmulDARows(a.Grad, g, b.Data, k, m, 0, n)
+			} else {
+				forEachRowBlock(n, kernelBlockRows, workers, func(lo, hi int) {
+					matmulDARows(a.Grad, g, b.Data, k, m, lo, hi)
+				})
 			}
 		}
 		if b.requiresGrad {
 			b.ensureGrad()
-			// dB = Aᵀ · G, accumulated row-block by row-block: the outer loop
-			// streams A and G row-major instead of walking A column-wise with
-			// stride k, which is what makes the backward affordable on the
-			// tall stacked matrices the batched episode replay produces
-			// (thousands of rows, narrow k and m). Every dB element still
-			// receives its contributions in ascending row order — the same
-			// order the old column-major loop used — so gradients are
-			// bit-identical; only the memory access pattern changed.
-			for i := 0; i < n; i++ {
-				ar := a.Data[i*k : (i+1)*k]
-				gr := g[i*m : (i+1)*m]
-				for p, av := range ar {
-					if av == 0 {
-						continue
-					}
-					bgr := b.Grad[p*m : (p+1)*m]
-					for j, gv := range gr {
-						bgr[j] += av * gv
-					}
-				}
+			// dB = Aᵀ · G, owner-computes over dB rows: each worker streams
+			// all of A and G but accumulates only its own band of dB rows, in
+			// the same ascending-i order as the scalar kernel.
+			if workers := kernelWorkers(k, dbBlockRows, n*k*m); workers <= 1 {
+				matmulDBRows(b.Grad, a.Data, g, n, k, m, 0, k)
+			} else {
+				forEachRowBlock(k, dbBlockRows, workers, func(plo, phi int) {
+					matmulDBRows(b.Grad, a.Data, g, n, k, m, plo, phi)
+				})
 			}
 		}
 	}

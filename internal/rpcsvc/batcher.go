@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/nn"
 	"repro/internal/sim"
 )
 
@@ -69,7 +68,12 @@ type batcher struct {
 	quit chan struct{}
 	done chan struct{} // dispatcher exited
 
-	scratch nn.Scratch // owned by the dispatcher goroutine
+	// Dispatcher-goroutine state, reused across coalescing rounds so a warm
+	// dispatcher allocates nothing per round: the DecideBatch working set
+	// (tensor arena + bookkeeping) plus the drain and item buffers.
+	scratch core.BatchScratch
+	drain   []*batchCall
+	items   []core.BatchItem
 
 	statMu sync.Mutex
 	stats  batchStats
@@ -107,18 +111,19 @@ func (b *batcher) decide(a *core.Agent, st *sim.State) (act *sim.Action, ok bool
 	return c.act, true
 }
 
-// take pops up to n parked requests.
-func (b *batcher) take(n int) []*batchCall {
+// take appends up to n parked requests onto dst and returns it. Append-style
+// so the straggler path can top up an already-drained batch in place; the
+// dispatcher passes its reusable drain buffer as dst.
+func (b *batcher) take(dst []*batchCall, n int) []*batchCall {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if n > len(b.queue) {
 		n = len(b.queue)
 	}
 	if n == 0 {
-		return nil
+		return dst
 	}
-	batch := make([]*batchCall, n)
-	copy(batch, b.queue[:n])
+	dst = append(dst, b.queue[:n]...)
 	rest := copy(b.queue, b.queue[n:])
 	// Nil the compacted tail: drained calls must not stay reachable through
 	// the backing array (each pins a full sim.State mirror).
@@ -126,7 +131,7 @@ func (b *batcher) take(n int) []*batchCall {
 		b.queue[i] = nil
 	}
 	b.queue = b.queue[:rest]
-	return batch
+	return dst
 }
 
 // loop is the dispatcher: drain, decide, repeat. On quit it serves whatever
@@ -139,10 +144,11 @@ func (b *batcher) loop() {
 		case <-b.wake:
 		case <-b.quit:
 			for {
-				batch := b.take(b.max)
+				batch := b.take(b.drain[:0], b.max)
 				if len(batch) == 0 {
 					return
 				}
+				b.drain = batch
 				b.run(batch)
 			}
 		}
@@ -153,7 +159,7 @@ func (b *batcher) loop() {
 		// client the yield is a sub-microsecond no-op.
 		runtime.Gosched()
 		for {
-			batch := b.take(b.max)
+			batch := b.take(b.drain[:0], b.max)
 			if len(batch) == 0 {
 				break
 			}
@@ -161,16 +167,23 @@ func (b *batcher) loop() {
 				// Evidence of concurrency but an unfilled batch: wait once for
 				// stragglers. A lone request never sleeps.
 				time.Sleep(b.window)
-				batch = append(batch, b.take(b.max-len(batch))...)
+				batch = b.take(batch, b.max-len(batch))
 			}
+			b.drain = batch
 			b.run(batch)
 		}
 	}
 }
 
-// run decides one drained batch and releases its callers.
+// run decides one drained batch and releases its callers. The item buffer
+// and the DecideBatch working set live on the dispatcher and are reused
+// round over round.
 func (b *batcher) run(batch []*batchCall) {
-	items := make([]core.BatchItem, len(batch))
+	if cap(b.items) < len(batch) {
+		b.items = make([]core.BatchItem, len(batch))
+	}
+	items := b.items[:len(batch)]
+	b.items = items
 	for i, c := range batch {
 		items[i] = c.item
 	}
@@ -178,6 +191,14 @@ func (b *batcher) run(batch []*batchCall) {
 	for i, c := range batch {
 		c.act = acts[i]
 		close(c.done)
+	}
+	// Drop the round's references before idling: every drained call pins a
+	// full sim.State mirror through its BatchItem.
+	for i := range batch {
+		batch[i] = nil
+	}
+	for i := range items {
+		items[i] = core.BatchItem{}
 	}
 	b.statMu.Lock()
 	b.stats.events += uint64(len(batch))
