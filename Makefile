@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json smoke-server fmt vet docs-check
+.PHONY: all build test race bench bench-json bench-robustness smoke-server smoke-restart fmt vet docs-check
 
 all: build vet fmt docs-check test
 
@@ -57,12 +57,27 @@ bench-json:
 	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out
 	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json
 
+# BENCH_robustness.json: the failure-regime matrix (CI `robustness` job).
+# First the fast lossy-regime gate the job is named for (decima trained
+# clean at smoke scale vs fifo), then the full scheduler × regime matrix
+# as the uploaded artifact.
+bench-robustness:
+	$(GO) run ./cmd/decima-bench -failures lossy -scheduler decima,fifo -short
+	$(GO) run ./cmd/decima-bench -failures all -short -json BENCH_robustness.json
+
 # End-to-end smoke of the serving binary: build decima-server, start it as
 # a real process, open a session over TCP, drive ≥100 scheduling events,
 # and assert a clean SIGINT shutdown.
 smoke-server:
 	$(GO) build -o bin/decima-server ./cmd/decima-server
 	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -events 100
+
+# Crash-recovery smoke: SIGKILL the serving process mid-session, start a
+# replacement on the same address, and require the self-healing session
+# client to finish with a schedule identical to an uninterrupted run.
+smoke-restart:
+	$(GO) build -o bin/decima-server ./cmd/decima-server
+	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -restart
 
 fmt:
 	@out="$$(gofmt -l .)"; \

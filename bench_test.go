@@ -52,3 +52,4 @@ func BenchmarkFig21(b *testing.B)  { runExp(b, "fig21") }
 func BenchmarkFig22(b *testing.B)  { runExp(b, "fig22") }
 func BenchmarkTable3(b *testing.B) { runExp(b, "table3") }
 func BenchmarkFig23(b *testing.B)  { runExp(b, "fig23") }
+func BenchmarkRobust(b *testing.B) { runExp(b, "robust") }

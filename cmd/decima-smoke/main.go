@@ -4,8 +4,16 @@
 // events), closes the session, and asserts the server shuts down cleanly on
 // SIGINT. Any failure exits non-zero.
 //
+// With -restart it instead exercises the self-healing session path at the
+// process level: it runs one uninterrupted reference workload, then repeats
+// the identical workload while SIGKILLing the server mid-session and
+// starting a replacement on the same address. The client must ride out the
+// crash (retry, redial, reopen from its snapshot) and produce exactly the
+// reference schedule.
+//
 //	go build -o bin/decima-server ./cmd/decima-server
 //	go run ./cmd/decima-smoke -bin bin/decima-server -events 100
+//	go run ./cmd/decima-smoke -bin bin/decima-server -restart
 package main
 
 import (
@@ -29,6 +37,7 @@ func main() {
 		bin       = flag.String("bin", "bin/decima-server", "path to the decima-server binary")
 		events    = flag.Int("events", 100, "minimum number of scheduling events to drive")
 		executors = flag.Int("executors", 8, "simulated cluster size")
+		restart   = flag.Bool("restart", false, "kill and restart the server mid-session; assert the client self-heals with an identical schedule")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	)
 	flag.Parse()
@@ -38,38 +47,13 @@ func main() {
 	})
 	defer deadline.Stop()
 
-	cmd := exec.Command(*bin, "-addr", "127.0.0.1:0", "-executors", fmt.Sprint(*executors))
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		log.Fatalf("smoke: stdout pipe: %v", err)
+	if *restart {
+		restartScenario(*bin, *executors)
+		return
 	}
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		log.Fatalf("smoke: start server: %v", err)
-	}
-	defer cmd.Process.Kill() // no-op after a clean Wait
 
-	// The server announces its bound address as the first line.
-	sc := bufio.NewScanner(stdout)
-	var addr string
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println("[server]", line)
-		if i := strings.LastIndex(line, "listening on "); i >= 0 {
-			addr = strings.TrimSpace(line[i+len("listening on "):])
-			break
-		}
-	}
-	if addr == "" {
-		log.Fatal("smoke: server never announced its address")
-	}
-	// Keep draining server output in the background so it never blocks on a
-	// full pipe, and so the shutdown message reaches the CI log.
-	go func() {
-		for sc.Scan() {
-			fmt.Println("[server]", sc.Text())
-		}
-	}()
+	cmd, addr := launchServer(*bin, "127.0.0.1:0", *executors)
+	defer cmd.Process.Kill() // no-op after a clean Wait
 
 	cli, err := rpcsvc.Dial(addr)
 	if err != nil {
@@ -103,4 +87,132 @@ func main() {
 		log.Fatalf("smoke: server did not shut down cleanly: %v", err)
 	}
 	fmt.Printf("SMOKE OK: %d scheduling events served over a session, clean shutdown\n", total)
+}
+
+// launchServer starts a decima-server process on addr ("host:0" picks a
+// port), waits for its "listening on" banner, keeps draining its output in
+// the background, and returns the process and the bound address.
+func launchServer(bin, addr string, executors int) (*exec.Cmd, string) {
+	cmd := exec.Command(bin, "-addr", addr, "-executors", fmt.Sprint(executors))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatalf("smoke: stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("smoke: start server: %v", err)
+	}
+
+	// The server announces its bound address as the first line.
+	sc := bufio.NewScanner(stdout)
+	var bound string
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println("[server]", line)
+		if i := strings.LastIndex(line, "listening on "); i >= 0 {
+			bound = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if bound == "" {
+		log.Fatal("smoke: server never announced its address")
+	}
+	// Keep draining server output in the background so it never blocks on a
+	// full pipe, and so shutdown messages reach the CI log.
+	go func() {
+		for sc.Scan() {
+			fmt.Println("[server]", sc.Text())
+		}
+	}()
+	return cmd, bound
+}
+
+// fingerprint flattens the schedule-determining outcome of a run.
+func fingerprint(r *sim.Result) string {
+	return fmt.Sprintf("%v/%v/%v/%d/%d", r.AvgJCT(), r.Makespan, r.JobSeconds, r.Invocations, len(r.Completed))
+}
+
+// restartScenario runs the crash-mid-session check: the same seeded
+// workload twice against the same server configuration, once uninterrupted
+// and once with the server SIGKILLed at a mid-run scheduling event and a
+// replacement started on the same address. Both runs must complete with
+// identical schedules and the healed client must not be degraded.
+func restartScenario(bin string, executors int) {
+	const seed = 1
+	cmd, addr := launchServer(bin, "127.0.0.1:0", executors)
+	defer func() { cmd.Process.Kill() }()
+
+	cli, err := rpcsvc.Dial(addr)
+	if err != nil {
+		log.Fatalf("smoke: dial %s: %v", addr, err)
+	}
+	defer cli.Close()
+
+	run := func(wrap func(sim.Scheduler) sim.Scheduler) (*sim.Result, *rpcsvc.SessionScheduler, int) {
+		errs := 0
+		ss := &rpcsvc.SessionScheduler{
+			Client: cli, Seed: seed,
+			MaxRetries: 10, Backoff: 50 * time.Millisecond,
+			OnError: func(error) { errs++ },
+		}
+		var s sim.Scheduler = ss
+		if wrap != nil {
+			s = wrap(s)
+		}
+		jobs := workload.Batch(rand.New(rand.NewSource(seed)), 6)
+		res := sim.New(sim.SparkDefaults(executors), jobs, s, rand.New(rand.NewSource(seed))).Run()
+		if res.Deadlock || res.Unfinished != 0 {
+			log.Fatalf("smoke: run failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+		}
+		return res, ss, errs
+	}
+
+	ref, refSS, _ := run(nil)
+	if err := refSS.Close(); err != nil {
+		log.Fatalf("smoke: close reference session: %v", err)
+	}
+	fmt.Printf("smoke: reference run ok, %d events\n", ref.Invocations)
+	killAt := ref.Invocations / 2
+	if killAt < 1 {
+		log.Fatalf("smoke: reference run too short to interrupt (%d events)", ref.Invocations)
+	}
+
+	n := 0
+	crash := func(inner sim.Scheduler) sim.Scheduler {
+		return sim.SchedulerFunc(func(st *sim.State) *sim.Action {
+			n++
+			if n == killAt {
+				fmt.Printf("smoke: SIGKILL server at event %d\n", n)
+				if err := cmd.Process.Kill(); err != nil {
+					log.Fatalf("smoke: kill server: %v", err)
+				}
+				cmd.Wait() // release the port before rebinding
+				cmd, _ = launchServer(bin, addr, executors)
+				fmt.Println("smoke: replacement server up on", addr)
+			}
+			return inner.Schedule(st)
+		})
+	}
+	healed, healedSS, errs := run(crash)
+	if errs == 0 {
+		log.Fatal("smoke: crash was never observed by the session client")
+	}
+	if healedSS.Degraded() {
+		log.Fatal("smoke: client fell back to degraded mode instead of healing")
+	}
+	if err := healedSS.Close(); err != nil {
+		log.Fatalf("smoke: close healed session: %v", err)
+	}
+	if got, want := fingerprint(healed), fingerprint(ref); got != want {
+		log.Fatalf("smoke: healed run diverged from reference:\n  healed    %s\n  reference %s", got, want)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		log.Fatalf("smoke: signal server: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("smoke: server did not shut down cleanly: %v", err)
+	}
+	fmt.Printf("SMOKE OK: server killed at event %d/%d, session healed with an identical schedule (%d transient errors ridden out)\n",
+		killAt, ref.Invocations, errs)
 }

@@ -251,26 +251,30 @@ func (a *Agent) Load(path string) error {
 	return nil
 }
 
-// featureKeyInputs returns the only two cluster-wide (non-job-local) inputs
-// of a job's feature matrix: the free-executor count and the locality flag.
-// Everything else Features reads is job-local state covered by
-// sim.JobState.Version, so (Version, freeTotal, local) is a complete cache
-// key for per-job embeddings. Features and the embedding cache share this
-// single definition so the key cannot silently diverge from the features.
-func featureKeyInputs(s *sim.State, j *sim.JobState) (freeTotal int, local float64) {
+// featureKeyInputs returns the only cluster-wide (non-job-local) inputs of a
+// job's feature matrix: the free-executor count, the total pool size, and
+// the locality flag. Everything else Features reads is job-local state
+// covered by sim.JobState.Version, so (Version, freeTotal, total, local) is
+// a complete cache key for per-job embeddings. Features and the embedding
+// cache share this single definition so the key cannot silently diverge from
+// the features. The pool size was a per-run constant before failure
+// dynamics; under executor churn it varies mid-run, so it must be part of
+// the key.
+func featureKeyInputs(s *sim.State, j *sim.JobState) (freeTotal, total int, local float64) {
 	freeTotal = len(s.FreeExecutors)
+	total = s.TotalExecutors
 	for _, e := range s.FreeExecutors {
 		if e.LocalTo(j) {
 			local = 1
 			break
 		}
 	}
-	return freeTotal, local
+	return freeTotal, total, local
 }
 
 // Features builds the §6.1 feature matrix for one job in the given state.
 func (a *Agent) Features(s *sim.State, j *sim.JobState) *nn.Tensor {
-	freeTotal, local := featureKeyInputs(s, j)
+	freeTotal, total, local := featureKeyInputs(s, j)
 	d := a.Cfg.FeatDim()
 	f := nn.Zeros(len(j.Stages), d)
 	for i, st := range j.Stages {
@@ -283,7 +287,7 @@ func (a *Agent) Features(s *sim.State, j *sim.JobState) *nn.Tensor {
 		f.Set(i, 0, remaining/100)
 		f.Set(i, 1, dur/10)
 		f.Set(i, 2, float64(j.Executors)/float64(maxInt(a.Cfg.NumLimits, 1)))
-		f.Set(i, 3, float64(freeTotal)/float64(maxInt(s.TotalExecutors, 1)))
+		f.Set(i, 3, float64(freeTotal)/float64(maxInt(total, 1)))
 		f.Set(i, 4, local)
 		f.Set(i, 5, work/1000)
 		if a.Cfg.UseIATFeature {

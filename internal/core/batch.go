@@ -61,6 +61,7 @@ type missRef struct {
 	job       int // index into state.Jobs
 	js        *sim.JobState
 	freeTotal int
+	total     int
 	local     float64
 }
 
@@ -220,10 +221,10 @@ func DecideBatch(items []BatchItem, bs *BatchScratch) []*sim.Action {
 		a.embedPass++
 		pr.emb = &gnn.Embeddings{Nodes: make([]*nn.Tensor, len(st.Jobs))}
 		for ji, j := range st.Jobs {
-			freeTotal, local := featureKeyInputs(st, j)
-			ent := a.cacheFor(j).lookup(j.Version, freeTotal, local)
+			freeTotal, total, local := featureKeyInputs(st, j)
+			ent := a.cacheFor(j).lookup(j.Version, freeTotal, total, local)
 			if ent == nil || a.NoCache {
-				bs.misses = append(bs.misses, missRef{prep: pi, job: ji, js: j, freeTotal: freeTotal, local: local})
+				bs.misses = append(bs.misses, missRef{prep: pi, job: ji, js: j, freeTotal: freeTotal, total: total, local: local})
 				bs.missGraphs = append(bs.missGraphs, gnn.NewGraph(j.Job, a.Features(st, j)))
 				continue
 			}
@@ -251,6 +252,7 @@ func DecideBatch(items []BatchItem, bs *BatchScratch) []*sim.Action {
 				ent := &embEntry{
 					version:   m.js.Version,
 					freeTotal: m.freeTotal,
+					total:     m.total,
 					local:     m.local,
 					nodes:     nodes.Clone(),
 					jobRow:    append([]float64(nil), row...),

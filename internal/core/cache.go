@@ -13,8 +13,10 @@ import (
 // summary reads only that job's features and node embeddings. A job's
 // feature matrix (§6.1) in turn depends only on the job's runtime state
 // (captured by sim.JobState.Version), the cluster-wide free-executor count,
-// and the job's locality flag. So per-job results cached under the key
-// (Version, freeTotal, local) can be reused *exactly* — not approximately —
+// the executor-pool size (constant per run without failure dynamics, varying
+// under churn), and the job's locality flag. So per-job results cached under
+// the key (Version, freeTotal, total, local) can be reused *exactly* — not
+// approximately —
 // and only jobs an event actually touched are re-embedded. The global
 // summary is recombined from the cached per-job rows on every decision,
 // in job order, so its floating-point summation order matches a full
@@ -43,6 +45,7 @@ const maxEntriesPerJob = 8
 type embEntry struct {
 	version   uint64  // sim.JobState.Version the entry was computed at
 	freeTotal int     // cluster-wide free-executor count observed
+	total     int     // executor-pool size observed (varies under churn)
 	local     float64 // locality feature observed (0 or 1)
 	nodes     *nn.Tensor
 	jobRow    []float64
@@ -61,9 +64,9 @@ type jobCache struct {
 }
 
 // lookup returns the entry matching the exact key, or nil.
-func (c *jobCache) lookup(version uint64, freeTotal int, local float64) *embEntry {
+func (c *jobCache) lookup(version uint64, freeTotal, total int, local float64) *embEntry {
 	for _, e := range c.entries {
-		if e.version == version && e.freeTotal == freeTotal && e.local == local {
+		if e.version == version && e.freeTotal == freeTotal && e.total == total && e.local == local {
 			return e
 		}
 	}
@@ -137,9 +140,9 @@ func (a *Agent) embedInference(s *sim.State) *gnn.Embeddings {
 		a.recGraphs = a.recGraphs[:0]
 	}
 	for i, j := range s.Jobs {
-		freeTotal, local := featureKeyInputs(s, j)
+		freeTotal, total, local := featureKeyInputs(s, j)
 		jc := a.cacheFor(j)
-		ent := jc.lookup(j.Version, freeTotal, local)
+		ent := jc.lookup(j.Version, freeTotal, total, local)
 		if ent == nil || a.NoCache {
 			gr := gnn.NewGraph(j.Job, a.Features(s, j))
 			nodes := a.GNN.EmbedNodesInference(gr, &a.scratch)
@@ -159,6 +162,7 @@ func (a *Agent) embedInference(s *sim.State) *gnn.Embeddings {
 			ent = &embEntry{
 				version:   j.Version,
 				freeTotal: freeTotal,
+				total:     total,
 				local:     local,
 				nodes:     nodes.Clone(),
 				jobRow:    append([]float64(nil), row.Data...),

@@ -144,14 +144,15 @@ func TestVersionKeyInvariant(t *testing.T) {
 		job       *sim.JobState
 		version   uint64
 		freeTotal int
+		total     int
 		local     float64
 	}
 	seen := map[key]string{}
 	probe := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
 		for _, j := range s.Jobs {
-			freeTotal, local := featureKeyInputs(s, j)
+			freeTotal, total, local := featureKeyInputs(s, j)
 			h := fmt.Sprintf("%v", agent.Features(s, j).Data)
-			k := key{j, j.Version, freeTotal, local}
+			k := key{j, j.Version, freeTotal, total, local}
 			if prev, ok := seen[k]; ok && prev != h {
 				t.Fatalf("job %d: same cache key, different features — a sim mutation is missing a Version bump", j.Job.ID)
 			}

@@ -107,6 +107,11 @@ type Scale struct {
 	// skip Decima training). Figures that compare agent ablations rather
 	// than policies ignore it.
 	Schedulers []string
+	// Failures restricts the robustness matrix (the "robust" experiment) to
+	// a subset of the canned failure regimes, by internal/workload regime
+	// name. Empty runs every regime. cmd/decima-bench -failures sets it;
+	// other experiments ignore it.
+	Failures []string
 }
 
 // schedulerNames resolves a figure's comparison set: the explicit

@@ -163,3 +163,52 @@ func TestTuneWeightedFairPicksReasonableAlpha(t *testing.T) {
 		t.Fatalf("alpha %v outside sweep range", alpha)
 	}
 }
+
+func TestRobustMatrixSemantics(t *testing.T) {
+	sc := microScale
+	sc.Schedulers = []string{"fifo", "sjf-cp"}
+	sc.Failures = []string{"clean", "lossy", "flash-churn"}
+	tbl, doc := RobustMatrix(sc)
+	if want := len(sc.Schedulers) * len(sc.Failures); len(doc.Cells) != want || len(tbl.Rows) != want {
+		t.Fatalf("got %d cells / %d rows, want %d", len(doc.Cells), len(tbl.Rows), want)
+	}
+	for _, c := range doc.Cells {
+		if c.Deadlock {
+			t.Fatalf("%s under %s deadlocked", c.Scheduler, c.Regime)
+		}
+		if c.Completed+c.FailedJobs+c.Unfinished != sc.ContinuousJobs {
+			t.Fatalf("%s under %s: %d+%d+%d jobs, want %d", c.Scheduler, c.Regime,
+				c.Completed, c.FailedJobs, c.Unfinished, sc.ContinuousJobs)
+		}
+		switch c.Regime {
+		case "clean":
+			if c.Retries != 0 || c.FailedTasks != 0 || c.Stragglers != 0 || c.ChurnLeaves != 0 {
+				t.Fatalf("clean regime has failure counters: %+v", c)
+			}
+		case "lossy":
+			if c.FailedTasks == 0 {
+				t.Fatalf("lossy regime saw no task failures: %+v", c)
+			}
+		case "flash-churn":
+			if c.ChurnLeaves == 0 {
+				t.Fatalf("flash-churn regime saw no departures: %+v", c)
+			}
+		}
+	}
+}
+
+func TestRobustMatrixDeterministic(t *testing.T) {
+	sc := microScale
+	sc.Schedulers = []string{"fifo"}
+	sc.Failures = []string{"lossy"}
+	_, a := RobustMatrix(sc)
+	_, b := RobustMatrix(sc)
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs across identical runs:\n%+v\nvs\n%+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}

@@ -29,6 +29,7 @@ var experiments = map[string]func(Scale) *Table{
 	"fig22":  Fig22,
 	"table3": Table3,
 	"fig23":  Fig23,
+	"robust": Robust,
 }
 
 func maxI(a, b int) int {

@@ -1,14 +1,25 @@
 package rpcsvc
 
 import (
+	"errors"
 	"net/rpc"
+	"sync"
+	"time"
 
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 )
 
-// Client is a connection to a Decima scheduling service.
+// Client is a connection to a Decima scheduling service. It can survive the
+// connection: Redial (used by the self-healing SessionScheduler) replaces a
+// dead transport with a fresh dial to the same address, so one Client value
+// stays valid across server restarts.
 type Client struct {
+	addr string
+
+	mu  sync.Mutex
 	rpc *rpc.Client
+	gen uint64 // bumped per redial; guards against concurrent double-redials
 }
 
 // Dial connects to a service at addr.
@@ -17,14 +28,57 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{rpc: c}, nil
+	return &Client{addr: addr, rpc: c}, nil
+}
+
+// conn returns the current transport and its generation.
+func (c *Client) conn() (*rpc.Client, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rpc, c.gen
+}
+
+// generation returns the current transport generation (see redialFrom).
+func (c *Client) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// call performs one RPC on the current transport.
+func (c *Client) call(method string, args, reply any) error {
+	rc, _ := c.conn()
+	return rc.Call(method, args, reply)
+}
+
+// redialFrom replaces the transport with a fresh dial, but only if the
+// connection is still the one observed at generation gen — when several
+// goroutines share a Client and all hit the same dead transport, exactly one
+// replacement happens and the rest reuse it.
+func (c *Client) redialFrom(gen uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return nil // someone already replaced the transport
+	}
+	if c.addr == "" {
+		return errors.New("rpcsvc: client has no dial address")
+	}
+	nc, err := rpc.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.rpc.Close()
+	c.rpc = nc
+	c.gen++
+	return nil
 }
 
 // Schedule sends one stateless scheduling request and returns the decision
 // (the v1 protocol; the server answers it as an ephemeral session).
 func (c *Client) Schedule(req *ScheduleRequest) (*ScheduleResponse, error) {
 	var resp ScheduleResponse
-	if err := c.rpc.Call("Decima.Schedule", req, &resp); err != nil {
+	if err := c.call("Decima.Schedule", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -35,14 +89,17 @@ func (c *Client) Schedule(req *ScheduleRequest) (*ScheduleResponse, error) {
 // Event ships only the delta.
 func (c *Client) OpenSession(req *OpenRequest) (*Session, error) {
 	var resp OpenResponse
-	if err := c.rpc.Call("Decima.Open", req, &resp); err != nil {
+	if err := c.call("Decima.Open", req, &resp); err != nil {
 		return nil, err
 	}
-	return &Session{c: c, sid: resp.SID, shadow: make(map[int]*shadowJob)}, nil
+	return &Session{c: c, sid: resp.SID, total: req.TotalExecutors, shadow: make(map[int]*shadowJob)}, nil
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.rpc.Close() }
+func (c *Client) Close() error {
+	rc, _ := c.conn()
+	return rc.Close()
+}
 
 // shadowStage mirrors the per-stage counters the server knows.
 type shadowStage struct {
@@ -63,6 +120,7 @@ type Session struct {
 	c      *Client
 	sid    uint64
 	seq    uint64
+	total  int // last executor count the server acknowledged
 	shadow map[int]*shadowJob
 }
 
@@ -76,7 +134,7 @@ func (s *Session) SID() uint64 { return s.sid }
 func (s *Session) Event(st *sim.State) (*sim.Action, error) {
 	req := s.delta(st)
 	var resp EventResponse
-	if err := s.c.rpc.Call("Decima.Event", req, &resp); err != nil {
+	if err := s.c.call("Decima.Event", req, &resp); err != nil {
 		return nil, err
 	}
 	s.commit(st, req.Seq)
@@ -86,7 +144,7 @@ func (s *Session) Event(st *sim.State) (*sim.Action, error) {
 // Close releases the server-side session.
 func (s *Session) Close() error {
 	var resp CloseResponse
-	return s.c.rpc.Call("Decima.Close", &CloseRequest{SID: s.sid}, &resp)
+	return s.c.call("Decima.Close", &CloseRequest{SID: s.sid}, &resp)
 }
 
 // delta builds the O(changes) event request for the observed state.
@@ -97,6 +155,10 @@ func (s *Session) delta(st *sim.State) *EventRequest {
 		Time:       st.Time,
 		JobSeconds: st.JobSeconds,
 		Order:      make([]int, len(st.Jobs)),
+	}
+	if st.TotalExecutors != s.total {
+		// Executor-pool delta (churn, late arrivals); 0 means unchanged.
+		req.TotalExecutors = st.TotalExecutors
 	}
 	jobIdx := make(map[*sim.JobState]int, len(st.Jobs))
 	for i, j := range st.Jobs {
@@ -139,6 +201,7 @@ func (s *Session) delta(st *sim.State) *EventRequest {
 // commit advances the shadow to st after the server acknowledged seq.
 func (s *Session) commit(st *sim.State, seq uint64) {
 	s.seq = seq
+	s.total = st.TotalExecutors
 	live := make(map[int]bool, len(st.Jobs))
 	for _, j := range st.Jobs {
 		live[j.Job.ID] = true
@@ -211,12 +274,38 @@ func (r *RemoteScheduler) Schedule(s *sim.State) *sim.Action {
 	return act
 }
 
+// DefaultSessionRetries is the per-event attempt budget of a
+// SessionScheduler when MaxRetries is zero.
+const DefaultSessionRetries = 4
+
+// DefaultSessionBackoff is the initial retry backoff of a SessionScheduler
+// when Backoff is zero; it doubles per transient failure within one event.
+const DefaultSessionBackoff = 25 * time.Millisecond
+
 // SessionScheduler adapts the client to sim.Scheduler over the v2 session
 // protocol: it opens a session lazily on the first scheduling event (using
 // the cluster constants observed there) and then ships O(delta) event
 // requests, letting the server keep its mirror — and the agent its
 // embedding cache — warm across the whole run. Call Close when the run
 // ends to release the server-side session.
+//
+// The scheduler self-heals. Within one scheduling event it classifies
+// failures with the typed-error predicates and recovers in place:
+//
+//   - eviction / seq gap (the server dropped the session — LRU bound, idle
+//     sweep, restart): reopen from the client snapshot. A fresh session's
+//     first delta resends every in-system job in full, re-seeding the
+//     server-side mirror through the ordinary delta/commit path.
+//   - transient transport failure (connection died, server restarting):
+//     redial the same address with exponential backoff and reopen.
+//   - anything else (a fatal application error — unknown scheduler name,
+//     malformed request): no retry; the event falls through to Fallback.
+//
+// When the attempt budget runs out the scheduler enters degraded mode:
+// every subsequent event probes the server exactly once (no backoff) and
+// otherwise decides locally via Fallback, so a run keeps making progress
+// while the server is down and transparently returns to remote decisions
+// when it comes back.
 type SessionScheduler struct {
 	Client *Client
 	// Name selects the server-side policy from the scheduler registry;
@@ -224,21 +313,78 @@ type SessionScheduler struct {
 	Name string
 	// Seed seeds the session's scheduler.
 	Seed int64
-	// OnError, when set, receives RPC failures; the scheduler then declines
-	// to schedule.
+	// Fallback names a registry scheduler (internal/scheduler) to decide
+	// locally when the server is unreachable or answers fatally; empty
+	// declines instead (executors stay idle until the server heals).
+	Fallback string
+	// MaxRetries bounds attempts per scheduling event (0 selects
+	// DefaultSessionRetries; negative disables retrying).
+	MaxRetries int
+	// Backoff is the initial transient-failure backoff (0 selects
+	// DefaultSessionBackoff). It doubles per transient failure.
+	Backoff time.Duration
+	// OnError, when set, receives every failed attempt's error.
 	OnError func(error)
 
-	sess *Session
+	sess     *Session
+	degraded bool
+	fb       scheduler.Scheduler
+	fbBroken bool
 }
 
-// Schedule implements sim.Scheduler over the session protocol. When an
-// Event fails — above all because the server evicted the session (LRU
-// bound or idle sweep) — the stale handle is dropped so the next
-// scheduling event transparently reopens: a fresh session's first delta
-// resends every in-system job in full, re-seeding the server-side mirror,
-// so one eviction costs one declined event plus one O(cluster) request,
-// not the rest of the run.
+// Schedule implements sim.Scheduler over the session protocol with the
+// recovery ladder described on the type.
 func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
+	attempts := r.MaxRetries
+	switch {
+	case attempts == 0:
+		attempts = DefaultSessionRetries
+	case attempts < 0:
+		attempts = 1
+	}
+	if r.degraded {
+		attempts = 1 // probe once per event while degraded
+	}
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = DefaultSessionBackoff
+	}
+	for a := 0; a < attempts; a++ {
+		gen := r.Client.generation()
+		act, err := r.eventOnce(s)
+		if err == nil {
+			r.degraded = false
+			return act
+		}
+		if r.OnError != nil {
+			r.OnError(err)
+		}
+		switch {
+		case IsSessionEvicted(err) || IsSeqGap(err):
+			// Reopen from the client snapshot on the next attempt; no
+			// backoff — the server is alive, it just lost the session.
+			r.sess = nil
+		case IsTransient(err):
+			r.sess = nil
+			if r.degraded {
+				break // degraded probes never sleep
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			if rerr := r.Client.redialFrom(gen); rerr != nil && r.OnError != nil {
+				r.OnError(rerr)
+			}
+		default:
+			// Fatal application error: retrying the same input cannot help.
+			return r.fallback(s)
+		}
+	}
+	r.degraded = true
+	return r.fallback(s)
+}
+
+// eventOnce performs one open-if-needed + event round trip.
+func (r *SessionScheduler) eventOnce(s *sim.State) (*sim.Action, error) {
 	if r.sess == nil {
 		sess, err := r.Client.OpenSession(&OpenRequest{
 			Scheduler:      r.Name,
@@ -247,16 +393,36 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 			MoveDelay:      s.MoveDelay,
 		})
 		if err != nil {
-			if r.OnError != nil {
-				r.OnError(err)
-			}
-			return nil
+			return nil, err
 		}
 		r.sess = sess
 	}
 	act, err := r.sess.Event(s)
 	if err != nil {
-		r.sess = nil // reopen with a fresh shadow on the next event
+		return nil, err
+	}
+	return act, nil
+}
+
+// fallback decides locally via the named registry scheduler, or declines
+// when none is configured (or it cannot be built).
+func (r *SessionScheduler) fallback(s *sim.State) *sim.Action {
+	if r.Fallback == "" || r.fbBroken {
+		return nil
+	}
+	if r.fb == nil {
+		fb, err := scheduler.New(r.Fallback, scheduler.Options{Seed: r.Seed, Executors: s.TotalExecutors})
+		if err != nil {
+			r.fbBroken = true
+			if r.OnError != nil {
+				r.OnError(err)
+			}
+			return nil
+		}
+		r.fb = fb
+	}
+	act, err := r.fb.Decide(s)
+	if err != nil {
 		if r.OnError != nil {
 			r.OnError(err)
 		}
@@ -264,6 +430,10 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 	}
 	return act
 }
+
+// Degraded reports whether the scheduler is currently deciding locally
+// (server unreachable past the retry budget).
+func (r *SessionScheduler) Degraded() bool { return r.degraded }
 
 // Close releases the server-side session, if one was opened.
 func (r *SessionScheduler) Close() error {

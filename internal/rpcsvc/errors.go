@@ -1,0 +1,64 @@
+package rpcsvc
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/rpc"
+	"strings"
+)
+
+// Typed errors for the session protocol. net/rpc flattens server-side errors
+// to strings on the wire (the client sees an rpc.ServerError), so each
+// sentinel embeds a stable marker substring and the Is* classifiers match
+// both in-process (errors.Is) and over the wire (marker search). The markers
+// are wire protocol: docs/PROTOCOL.md pins them, and changing one breaks old
+// clients' error discrimination.
+const (
+	evictedMarker = "[rpcsvc:evicted]"
+	seqGapMarker  = "[rpcsvc:seq-gap]"
+)
+
+// ErrSessionEvicted reports the session no longer exists on the server: it
+// was closed, LRU-evicted, idle-swept, or lost to a server restart. The
+// client-side mirror is reconstructable, so the documented recovery is to
+// reopen and resend the full state as the first delta (SessionScheduler does
+// this automatically).
+var ErrSessionEvicted = errors.New("session evicted " + evictedMarker)
+
+// ErrSeqGap reports an event arrived out of order (its Seq is not the
+// previous event's Seq + 1). The mirror is left untouched; recovery is the
+// same reopen-and-resend as eviction.
+var ErrSeqGap = errors.New("event sequence gap " + seqGapMarker)
+
+// IsSessionEvicted reports whether err means the session is gone from the
+// server, in-process or over the wire.
+func IsSessionEvicted(err error) bool {
+	return err != nil && (errors.Is(err, ErrSessionEvicted) || strings.Contains(err.Error(), evictedMarker))
+}
+
+// IsSeqGap reports whether err is a sequence-ordering rejection, in-process
+// or over the wire.
+func IsSeqGap(err error) bool {
+	return err != nil && (errors.Is(err, ErrSeqGap) || strings.Contains(err.Error(), seqGapMarker))
+}
+
+// IsTransient reports whether err looks like a transport failure worth
+// retrying on a fresh connection: the connection died (rpc.ErrShutdown,
+// EOF), or any network-level error (refused, reset, timeout). Application
+// errors the server answered with — including eviction and seq-gap — are
+// never transient; they have their own recovery paths.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

@@ -145,6 +145,11 @@ type EventRequest struct {
 	Seq        uint64
 	Time       float64
 	JobSeconds float64
+	// TotalExecutors, when non-zero, updates the session's executor count:
+	// under failure dynamics (executor churn, late arrivals) the pool shrinks
+	// and grows mid-run. Zero means unchanged, which keeps pre-churn clients
+	// wire-compatible (a real cluster never schedules with zero executors).
+	TotalExecutors int
 	// NewJobs carries jobs the server has not seen yet, in full wire form.
 	NewJobs []JobInfo
 	// Order lists every in-system job's ID in observation order (the order

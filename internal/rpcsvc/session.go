@@ -49,12 +49,17 @@ func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error
 	defer s.mu.Unlock()
 	if s.closed {
 		// An eviction won the race against this in-flight event.
-		return nil, fmt.Errorf("rpcsvc: session %d evicted", s.id)
+		return nil, fmt.Errorf("rpcsvc: session %d: %w", s.id, ErrSessionEvicted)
 	}
 	if err := s.validate(req); err != nil {
 		return nil, err
 	}
 	s.seq = req.Seq
+	// Executor-pool delta: under failure dynamics the cluster shrinks and
+	// grows; 0 means unchanged (pre-churn clients never send the field).
+	if req.TotalExecutors > 0 {
+		s.total = req.TotalExecutors
+	}
 
 	// Arrivals: materialise previously unseen jobs.
 	for i := range req.NewJobs {
@@ -147,7 +152,7 @@ func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error
 // mutating anything, so apply cannot fail halfway. Called under s.mu.
 func (s *session) validate(req *EventRequest) error {
 	if req.Seq != s.seq+1 {
-		return fmt.Errorf("rpcsvc: session %d: event seq %d out of order (want %d)", s.id, req.Seq, s.seq+1)
+		return fmt.Errorf("rpcsvc: session %d: event seq %d (want %d): %w", s.id, req.Seq, s.seq+1, ErrSeqGap)
 	}
 	// stages[id] = stage count the mirror will have for each known job.
 	stages := make(map[int]int, len(s.jobs)+len(req.NewJobs))
@@ -258,7 +263,7 @@ func (t *sessionTable) get(sid uint64) (*session, []*session, error) {
 	evicted := t.sweepIdleLocked()
 	s := t.m[sid]
 	if s == nil {
-		return nil, evicted, fmt.Errorf("rpcsvc: unknown session %d (closed or evicted)", sid)
+		return nil, evicted, fmt.Errorf("rpcsvc: unknown session %d: %w", sid, ErrSessionEvicted)
 	}
 	t.lru.MoveToFront(t.elem[sid])
 	t.used[sid] = t.now()

@@ -1,0 +1,97 @@
+package scheduler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestRegistrySchedulersSurviveFailureRegimes audits every registered policy
+// under every canned failure regime: a shrinking/growing executor pool,
+// stragglers, and task retry must never deadlock, panic, or strand jobs.
+// This is the registry-wide half of the churn audit — candidate enumeration
+// and per-job caches must not assume a constant TotalExecutors.
+func TestRegistrySchedulersSurviveFailureRegimes(t *testing.T) {
+	const executors = 6
+	for _, name := range Names() {
+		for _, regime := range workload.RegimeNames() {
+			t.Run(name+"/"+regime, func(t *testing.T) {
+				p, err := workload.Regime(regime)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := New(name, Options{Executors: executors, Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(13))
+				jobs := workload.Poisson(rng, 5, 15)
+				cfg := p.Apply(sim.SparkDefaults(executors))
+				res := sim.New(cfg, jobs, Sim(s), rng).Run()
+				if res.Deadlock {
+					t.Fatalf("%s deadlocked under %s", name, regime)
+				}
+				if res.Unfinished != 0 {
+					t.Fatalf("%s under %s left %d jobs unfinished", name, regime, res.Unfinished)
+				}
+				if len(res.Completed)+len(res.Failed) != 5 {
+					t.Fatalf("%s under %s: %d completed + %d failed, want 5 total",
+						name, regime, len(res.Completed), len(res.Failed))
+				}
+			})
+		}
+	}
+}
+
+// TestAgentCacheEquivalenceUnderChurn extends the embedding-cache
+// equivalence bar to failure dynamics: with executors churning in and out
+// (changing freeTotal and invalidating per-job state mid-run), cache-on and
+// cache-off decisions must stay bitwise identical.
+func TestAgentCacheEquivalenceUnderChurn(t *testing.T) {
+	const executors = 6
+	for _, regime := range workload.RegimeNames() {
+		t.Run(regime, func(t *testing.T) {
+			p, err := workload.Regime(regime)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(noCache bool) *sim.Result {
+				a := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(42)))
+				a.Greedy = true
+				a.NoCache = noCache
+				rng := rand.New(rand.NewSource(17))
+				jobs := workload.Batch(rng, 5)
+				cfg := p.Apply(sim.SparkDefaults(executors))
+				return sim.New(cfg, jobs, a, rng).Run()
+			}
+			cached, uncached := run(false), run(true)
+			if !reflect.DeepEqual(cached, uncached) {
+				t.Fatalf("cache on/off diverge under %s:\n%+v\nvs\n%+v", regime, cached, uncached)
+			}
+		})
+	}
+}
+
+// TestAgentSurvivesPoolGrowingPastNumLimits pins the parallelism-head
+// clamping: an agent built for N executors keeps deciding (limits clamped
+// to its head size) when late arrivals grow the pool past N.
+func TestAgentSurvivesPoolGrowingPastNumLimits(t *testing.T) {
+	const executors = 4
+	a := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(7)))
+	a.Greedy = true
+	rng := rand.New(rand.NewSource(23))
+	jobs := workload.Batch(rng, 4)
+	cfg := sim.SparkDefaults(executors)
+	cfg.Failures = sim.FailureConfig{ExtraExecutors: 6, ExtraJoinMean: 2}
+	res := sim.New(cfg, jobs, a, rng).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		t.Fatalf("agent stalled with pool grown past NumLimits: %+v", res)
+	}
+	if res.ChurnJoins != 6 {
+		t.Fatalf("ChurnJoins = %d, want 6", res.ChurnJoins)
+	}
+}

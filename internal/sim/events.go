@@ -9,6 +9,9 @@ const (
 	evTaskDone eventKind = iota
 	evJobArrival
 	evExecArrive // executor finished moving between jobs
+	evTaskFail   // a task attempt failed partway (Config.Failures.TaskFailProb)
+	evExecLeave  // the churn process removes one executor from the pool
+	evExecJoin   // a churned executor rejoins, or a late extra executor arrives
 )
 
 // event is one entry in the simulation's time-ordered queue.
@@ -20,14 +23,34 @@ type event struct {
 	exec  *Executor
 	stage *StageState
 	job   *JobState
-	// dur is the actual task duration for evTaskDone accounting.
+	// dur is the actual task duration for evTaskDone accounting (for
+	// evTaskFail, the partial duration executed before the failure).
 	dur float64
+	// epoch snapshots exec.epoch at enqueue time for task and move events;
+	// an executor leaving bumps its epoch, so a stale event (its task was
+	// already rescheduled at leave time) is recognised and dropped on pop.
+	epoch uint64
+}
+
+// isWork reports whether the event represents pending workload progress
+// (tasks in flight, executors in motion, future arrivals) as opposed to the
+// self-re-arming churn process. The churn chain only re-arms while work is
+// pending, so a run whose scheduler declines forever still drains the queue
+// and terminates with Deadlock set instead of churning in place.
+func (k eventKind) isWork() bool {
+	switch k {
+	case evTaskDone, evJobArrival, evExecArrive, evTaskFail:
+		return true
+	}
+	return false
 }
 
 // eventQueue is a min-heap over (time, seq).
 type eventQueue struct {
 	items []*event
 	seq   int
+	// work counts queued events whose kind isWork(); see eventKind.isWork.
+	work int
 }
 
 func (q *eventQueue) Len() int { return len(q.items) }
@@ -56,6 +79,9 @@ func (q *eventQueue) Pop() any {
 func (q *eventQueue) push(e *event) {
 	e.seq = q.seq
 	q.seq++
+	if e.kind.isWork() {
+		q.work++
+	}
 	heap.Push(q, e)
 }
 
@@ -64,7 +90,11 @@ func (q *eventQueue) pop() *event {
 	if q.Len() == 0 {
 		return nil
 	}
-	return heap.Pop(q).(*event)
+	e := heap.Pop(q).(*event)
+	if e.kind.isWork() {
+		q.work--
+	}
+	return e
 }
 
 // peekTime returns the next event time, or ok=false when empty.

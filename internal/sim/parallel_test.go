@@ -6,7 +6,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/workload"
+	"repro/internal/dag"
 )
 
 // testFIFO is a minimal FIFO scheduler (sched would import-cycle here).
@@ -30,10 +30,28 @@ func testFIFO() Scheduler {
 // run exactly; `go test -race` additionally proves no memory is shared.
 func TestSimSelfContainedAcrossGoroutines(t *testing.T) {
 	cfg := SparkDefaults(6)
-	jobs := workload.Poisson(rand.New(rand.NewSource(1)), 8, 20)
+	// Random-DAG jobs with Poisson arrivals, built locally (the workload
+	// package now imports sim for FailureProfile, so it cannot be used here).
+	arrivalRNG := rand.New(rand.NewSource(1))
+	var jobs []*dag.Job
+	arrival := 0.0
+	for i := 0; i < 8; i++ {
+		j := dag.Random(arrivalRNG, 6, 0.3)
+		j.ID = i
+		arrival += arrivalRNG.ExpFloat64() * 20
+		j.Arrival = arrival
+		jobs = append(jobs, j)
+	}
+	cloneAll := func() []*dag.Job {
+		out := make([]*dag.Job, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.Clone()
+		}
+		return out
+	}
 
 	run := func(seed int64) *Result {
-		return New(cfg, workload.CloneAll(jobs), testFIFO(), rand.New(rand.NewSource(seed))).Run()
+		return New(cfg, cloneAll(), testFIFO(), rand.New(rand.NewSource(seed))).Run()
 	}
 
 	const n = 8

@@ -41,6 +41,49 @@ type Config struct {
 	// RecordTimeline retains per-task execution intervals in the result
 	// (needed for the schedule visualisations of Figs. 3 and 13).
 	RecordTimeline bool
+	// Failures enables the failure-dynamics layer: executor churn,
+	// heavy-tailed stragglers, and task failure with bounded retry. The zero
+	// value disables every effect and leaves runs bitwise identical to the
+	// pre-failure simulator (no extra RNG draws).
+	Failures FailureConfig
+}
+
+// FailureConfig parameterises the failure dynamics of a run. All effects
+// draw from the simulation's single RNG inside the deterministic (time, seq)
+// event loop, so same seed + same config ⇒ bitwise-identical results.
+// internal/workload's FailureProfile provides canned regimes.
+type FailureConfig struct {
+	// ChurnRate is the mean number of executor-leave events per simulated
+	// second (a Poisson process); 0 disables churn. Each leave removes one
+	// uniformly chosen present executor; a task running on it is re-enqueued
+	// (counted in JobState.Retries) and an in-flight move is abandoned.
+	ChurnRate float64
+	// MTTR is the mean time for a churned executor to rejoin the pool
+	// (exponentially distributed); ≤ 0 makes departures permanent.
+	MTTR float64
+	// ExtraExecutors is the number of late-arriving executors that grow the
+	// pool beyond its initial size.
+	ExtraExecutors int
+	// ExtraJoinMean is the mean interarrival time of those late executors.
+	ExtraJoinMean float64
+	// StragglerProb is the probability a task attempt is a straggler, its
+	// duration multiplied by a Pareto(1, StragglerAlpha) draw.
+	StragglerProb float64
+	// StragglerAlpha is the Pareto tail exponent of the straggler multiplier
+	// (smaller = heavier tail); values ≤ 0 select the default of 2.
+	StragglerAlpha float64
+	// TaskFailProb is the probability a launched task attempt fails partway
+	// through (the partial work is wasted and the attempt re-enqueued).
+	TaskFailProb float64
+	// MaxRetries is the number of failed attempts tolerated per stage; one
+	// more failure marks the whole job failed (JobRecord.Failed). It bounds
+	// retries per stage, not per run.
+	MaxRetries int
+}
+
+// Enabled reports whether any failure effect is active.
+func (f FailureConfig) Enabled() bool {
+	return f.ChurnRate > 0 || f.ExtraExecutors > 0 || f.StragglerProb > 0 || f.TaskFailProb > 0
 }
 
 // SparkDefaults returns the detailed simulator configuration used for
@@ -81,6 +124,16 @@ type JobRecord struct {
 	WorkExecuted float64 // actual task-seconds run (waves + inflation)
 	// ExecutorSeconds is occupancy per executor class.
 	ExecutorSeconds map[int]float64
+	// Failed reports the job was abandoned after a stage exhausted its retry
+	// budget; Completion is then the abandonment time.
+	Failed bool
+	// Retries counts re-enqueued task attempts (failure retries plus
+	// churn-interrupted tasks).
+	Retries int
+	// FailedTasks counts task attempts that failed outright.
+	FailedTasks int
+	// Stragglers counts task attempts hit by the straggler multiplier.
+	Stragglers int
 }
 
 // JCT returns the job's completion time minus arrival.
@@ -103,7 +156,23 @@ type Result struct {
 	Invocations int
 	// Timeline holds task intervals when Config.RecordTimeline is set.
 	Timeline []TaskInterval
+	// Failed holds records for jobs abandoned after exhausting their retry
+	// budget, in abandonment order. They are excluded from Completed and
+	// from AvgJCT.
+	Failed []JobRecord
+	// Retries, FailedTasks and Stragglers aggregate the per-job counters of
+	// the same names over all jobs (completed, failed and unfinished).
+	Retries     int
+	FailedTasks int
+	Stragglers  int
+	// ChurnLeaves and ChurnJoins count executor-pool departures and
+	// (re)joins over the run.
+	ChurnLeaves int
+	ChurnJoins  int
 }
+
+// FailedCount returns the number of jobs abandoned by retry exhaustion.
+func (r *Result) FailedCount() int { return len(r.Failed) }
 
 // AvgJCT returns the mean job completion time over completed jobs.
 func (r *Result) AvgJCT() float64 {
@@ -136,6 +205,18 @@ type Sim struct {
 	timeline    []TaskInterval
 	doneCount   int
 	records     []JobRecord
+	failedRecs  []JobRecord
+
+	// present counts executors currently in the pool (not departed); it is
+	// what State.TotalExecutors reports under churn.
+	present int
+	// churnArmed reports an evExecLeave is queued; the chain re-arms from
+	// leave handling while work events are pending, and from launchTask when
+	// progress resumes after it went quiet.
+	churnArmed  bool
+	nextExecID  int
+	churnLeaves int
+	churnJoins  int
 
 	// elig is the reusable eligible-executor ranking buffer of apply; it
 	// exists to keep the per-scheduling-event assignment loop allocation-
@@ -188,6 +269,8 @@ func New(cfg Config, jobs []*dag.Job, sched Scheduler, rng *rand.Rand) *Sim {
 			}
 		}
 	}
+	s.present = len(s.execs)
+	s.nextExecID = len(s.execs)
 	sorted := append([]*dag.Job(nil), jobs...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Arrival < sorted[b].Arrival })
 	for _, j := range sorted {
@@ -197,6 +280,26 @@ func New(cfg Config, jobs []*dag.Job, sched Scheduler, rng *rand.Rand) *Sim {
 		}
 		s.all = append(s.all, js)
 		s.queue.push(&event{time: j.Arrival, kind: evJobArrival, job: js})
+	}
+	f := cfg.Failures
+	// Late-arriving executors: pre-create the slots (departed until their
+	// join fires) so IDs and classes are fixed up front; they cycle through
+	// the configured classes, or class 0 in the single-resource setting.
+	t := 0.0
+	for i := 0; i < f.ExtraExecutors; i++ {
+		e := &Executor{ID: s.nextExecID, Class: 0, Mem: 1, departed: true}
+		if len(cfg.Classes) > 0 {
+			ci := i % len(cfg.Classes)
+			e.Class, e.Mem = ci, cfg.Classes[ci].Mem
+		}
+		s.nextExecID++
+		s.execs = append(s.execs, e)
+		t += rng.ExpFloat64() * f.ExtraJoinMean
+		s.queue.push(&event{time: t, kind: evExecJoin, exec: e})
+	}
+	if f.ChurnRate > 0 {
+		s.queue.push(&event{time: rng.ExpFloat64() / f.ChurnRate, kind: evExecLeave})
+		s.churnArmed = true
 	}
 	return s
 }
@@ -262,13 +365,24 @@ func (s *Sim) handle(e *event) bool {
 		return true
 
 	case evTaskDone:
+		if e.epoch != e.exec.epoch {
+			// The executor churned away mid-task; the attempt was already
+			// re-enqueued at leave time.
+			return false
+		}
 		st := e.stage
 		job := st.Job
+		e.exec.busy = false
+		e.exec.running = nil
+		if job.finished() {
+			// The job failed while this task was in flight; just release the
+			// executor.
+			return true
+		}
 		job.touch()
 		st.TasksDone++
 		st.Running--
 		job.WorkExecuted += e.dur
-		e.exec.busy = false
 		needSched := false
 		if st.TasksDone == st.Stage.NumTasks {
 			st.Completed = true
@@ -291,16 +405,52 @@ func (s *Sim) handle(e *event) bool {
 		job.Executors--
 		return true
 
-	case evExecArrive:
-		e.stage.Job.touch()
+	case evTaskFail:
+		if e.epoch != e.exec.epoch {
+			return false
+		}
 		st := e.stage
 		job := st.Job
-		if !job.Done && st.TasksLaunched < st.Stage.NumTasks && !st.Completed {
+		e.exec.busy = false
+		e.exec.running = nil
+		if job.finished() {
+			return true
+		}
+		job.touch()
+		// The attempt's partial work is wasted; the task itself goes back to
+		// the unlaunched pool.
+		st.TasksLaunched--
+		st.Running--
+		st.Failures++
+		job.WorkExecuted += e.dur
+		job.FailedTasks++
+		if st.Failures > s.cfg.Failures.MaxRetries {
+			s.failJob(job)
+			return true
+		}
+		job.Retries++
+		// Mirror the completion path: the executor keeps pulling from the
+		// stage (retrying the failed task) while the job's limit allows.
+		if st.TasksLaunched < st.Stage.NumTasks && job.Executors <= job.Limit {
 			s.launchTask(e.exec, st)
 			return false
 		}
-		// The target stage no longer needs executors; try a sibling stage.
-		if !job.Done {
+		job.Executors--
+		return true
+
+	case evExecArrive:
+		if e.epoch != e.exec.epoch {
+			return false
+		}
+		st := e.stage
+		job := st.Job
+		if !job.finished() {
+			job.touch()
+			if st.TasksLaunched < st.Stage.NumTasks && !st.Completed {
+				s.launchTask(e.exec, st)
+				return false
+			}
+			// The target stage no longer needs executors; try a sibling stage.
 			for _, alt := range job.Stages {
 				if alt.Runnable() {
 					s.launchTask(e.exec, alt)
@@ -311,8 +461,95 @@ func (s *Sim) handle(e *event) bool {
 		e.exec.busy = false
 		job.Executors--
 		return true
+
+	case evExecLeave:
+		return s.handleLeave()
+
+	case evExecJoin:
+		e.exec.departed = false
+		e.exec.busy = false
+		e.exec.running = nil
+		e.exec.BoundTo = nil // a rejoining executor comes back cold (fresh JVM)
+		s.present++
+		s.churnJoins++
+		return true
 	}
 	return false
+}
+
+// handleLeave removes one uniformly chosen present executor from the pool,
+// re-enqueueing an interrupted task, and re-arms the churn chain.
+func (s *Sim) handleLeave() bool {
+	f := s.cfg.Failures
+	// Re-arm the next departure first so the chain's RNG draw order does not
+	// depend on the victim bookkeeping. Only re-arm while workload progress
+	// is pending (see eventKind.isWork); launchTask re-arms once progress
+	// resumes.
+	if s.queue.work > 0 {
+		s.queue.push(&event{time: s.now + s.rng.ExpFloat64()/f.ChurnRate, kind: evExecLeave})
+	} else {
+		s.churnArmed = false
+	}
+	if s.present == 0 {
+		return false
+	}
+	k := s.rng.Intn(s.present)
+	var victim *Executor
+	for _, e := range s.execs {
+		if e.departed {
+			continue
+		}
+		if k == 0 {
+			victim = e
+			break
+		}
+		k--
+	}
+	victim.departed = true
+	victim.epoch++ // invalidate in-flight task/move events
+	s.present--
+	s.churnLeaves++
+	if f.MTTR > 0 {
+		s.queue.push(&event{time: s.now + s.rng.ExpFloat64()*f.MTTR, kind: evExecJoin, exec: victim})
+	}
+	needSched := false
+	if victim.busy {
+		job := victim.BoundTo
+		if job != nil && !job.finished() {
+			job.touch()
+			job.Executors--
+			if st := victim.running; st != nil {
+				// Mid-task: the attempt goes back to the unlaunched pool for
+				// another executor to pick up.
+				st.TasksLaunched--
+				st.Running--
+				job.Retries++
+				needSched = true
+			}
+			// Mid-move (running == nil): the pending evExecArrive is stale
+			// and the allocation simply evaporates.
+		}
+		victim.busy = false
+		victim.running = nil
+	}
+	return needSched
+}
+
+// failJob abandons a job whose stage exhausted its retry budget: it leaves
+// the active set like a completed job but is recorded under Result.Failed.
+// Executors still running its tasks release as their events pop.
+func (s *Sim) failJob(job *JobState) {
+	job.touch()
+	job.Failed = true
+	job.Completion = s.now
+	for i, a := range s.active {
+		if a == job {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	s.doneCount++
+	s.failedRecs = append(s.failedRecs, s.record(job))
 }
 
 // completeJob finalises a job and removes it from the active set.
@@ -327,11 +564,16 @@ func (s *Sim) completeJob(job *JobState) {
 		}
 	}
 	s.doneCount++
+	s.records = append(s.records, s.record(job))
+}
+
+// record builds a JobRecord snapshot of job at the current time.
+func (s *Sim) record(job *JobState) JobRecord {
 	es := make(map[int]float64, len(job.ExecutorSeconds))
 	for k, v := range job.ExecutorSeconds {
 		es[k] = v
 	}
-	s.records = append(s.records, JobRecord{
+	return JobRecord{
 		ID:              job.Job.ID,
 		Name:            job.Job.Name,
 		Arrival:         job.Job.Arrival,
@@ -339,7 +581,11 @@ func (s *Sim) completeJob(job *JobState) {
 		TotalWork:       job.Job.TotalWork(),
 		WorkExecuted:    job.WorkExecuted,
 		ExecutorSeconds: es,
-	})
+		Failed:          job.Failed,
+		Retries:         job.Retries,
+		FailedTasks:     job.FailedTasks,
+		Stragglers:      job.Stragglers,
+	}
 }
 
 // launchTask starts one task of st on executor e at the current time.
@@ -363,13 +609,41 @@ func (s *Sim) launchTask(e *Executor, st *StageState) {
 		sig := s.cfg.DurationNoise
 		dur *= math.Exp(sig*s.rng.NormFloat64() - sig*sig/2)
 	}
+	// Failure dynamics. Every draw is gated by a non-zero config field so a
+	// zero FailureConfig consumes the exact pre-failure RNG stream.
+	f := s.cfg.Failures
+	if f.StragglerProb > 0 && s.rng.Float64() < f.StragglerProb {
+		alpha := f.StragglerAlpha
+		if alpha <= 0 {
+			alpha = 2
+		}
+		// Pareto(1, alpha) multiplier via inverse-CDF; 1-U ∈ (0,1] keeps the
+		// draw finite.
+		dur *= math.Pow(1-s.rng.Float64(), -1/alpha)
+		job.Stragglers++
+	}
+	failed := false
+	if f.TaskFailProb > 0 && s.rng.Float64() < f.TaskFailProb {
+		failed = true
+		dur *= s.rng.Float64() // the attempt dies partway through
+	}
 	e.busy = true
+	e.running = st
 	e.BoundTo = job
 	job.ExecutorSeconds[e.Class] += dur
 	if s.cfg.RecordTimeline {
 		s.timeline = append(s.timeline, TaskInterval{JobID: job.Job.ID, ExecID: e.ID, Start: s.now, End: s.now + dur})
 	}
-	s.queue.push(&event{time: s.now + dur, kind: evTaskDone, exec: e, stage: st, dur: dur})
+	kind := evTaskDone
+	if failed {
+		kind = evTaskFail
+	}
+	s.queue.push(&event{time: s.now + dur, kind: kind, exec: e, stage: st, dur: dur, epoch: e.epoch})
+	// Progress resumed: re-arm the churn chain if it went quiet.
+	if f.ChurnRate > 0 && !s.churnArmed {
+		s.queue.push(&event{time: s.now + s.rng.ExpFloat64()/f.ChurnRate, kind: evExecLeave})
+		s.churnArmed = true
+	}
 }
 
 // runSchedulingEvent repeatedly consults the scheduler, assigning free
@@ -396,7 +670,7 @@ func (s *Sim) runSchedulingEvent() {
 func (s *Sim) apply(act *Action, state *State) int {
 	st := act.Stage
 	job := st.Job
-	if job.Done || st.Completed {
+	if job.finished() || st.Completed {
 		return 0
 	}
 	job.touch()
@@ -405,7 +679,7 @@ func (s *Sim) apply(act *Action, state *State) int {
 	} else if job.Limit == 0 {
 		// A scheduler that does not manage parallelism (e.g. FIFO) gets
 		// Spark's default of "as many executors as available".
-		job.Limit = len(s.execs)
+		job.Limit = s.present
 	}
 	want := job.Limit - job.Executors
 	if r := st.RemainingTasks(); want > r {
@@ -446,7 +720,7 @@ func (s *Sim) apply(act *Action, state *State) int {
 			e.busy = true
 			e.BoundTo = job
 			job.ExecutorSeconds[e.Class] += s.cfg.MoveDelay
-			s.queue.push(&event{time: s.now + s.cfg.MoveDelay, kind: evExecArrive, exec: e, stage: st})
+			s.queue.push(&event{time: s.now + s.cfg.MoveDelay, kind: evExecArrive, exec: e, stage: st, epoch: e.epoch})
 		}
 		assigned++
 	}
@@ -458,7 +732,7 @@ func (s *Sim) buildState() *State {
 	st := &State{
 		Time:           s.now,
 		Jobs:           append([]*JobState(nil), s.active...),
-		TotalExecutors: len(s.execs),
+		TotalExecutors: s.present,
 		JobSeconds:     s.jobSeconds,
 		MoveDelay:      s.cfg.MoveDelay,
 	}
@@ -474,16 +748,29 @@ func (s *Sim) buildState() *State {
 func (s *Sim) result() *Result {
 	r := &Result{
 		Completed:   append([]JobRecord(nil), s.records...),
+		Failed:      append([]JobRecord(nil), s.failedRecs...),
 		Unfinished:  len(s.all) - s.doneCount,
 		JobSeconds:  s.jobSeconds,
 		Deadlock:    s.deadlock,
 		Invocations: s.invocations,
 		Timeline:    s.timeline,
+		ChurnLeaves: s.churnLeaves,
+		ChurnJoins:  s.churnJoins,
 	}
 	for _, rec := range r.Completed {
 		if rec.Completion > r.Makespan {
 			r.Makespan = rec.Completion
 		}
+	}
+	for _, rec := range r.Failed {
+		if rec.Completion > r.Makespan {
+			r.Makespan = rec.Completion
+		}
+	}
+	for _, j := range s.all {
+		r.Retries += j.Retries
+		r.FailedTasks += j.FailedTasks
+		r.Stragglers += j.Stragglers
 	}
 	return r
 }

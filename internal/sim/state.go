@@ -31,6 +31,9 @@ type StageState struct {
 	Running int
 	// Completed reports whether all tasks finished.
 	Completed bool
+	// Failures counts failed task attempts in this stage; when it exceeds
+	// Config.Failures.MaxRetries the whole job is marked failed.
+	Failures int
 }
 
 // Runnable reports whether the stage can accept executors: all parents
@@ -71,8 +74,22 @@ type JobState struct {
 	Completion float64
 	// WorkExecuted accumulates actual task-seconds run for the job,
 	// including wave and inflation effects (Fig. 10e's work-inflation
-	// measure).
+	// measure) and partial work wasted by failed or churned-away attempts.
 	WorkExecuted float64
+	// Failed reports the job was abandoned: some stage exhausted its retry
+	// budget (Config.Failures.MaxRetries). A failed job leaves the system
+	// like a completed one but is recorded under Result.Failed.
+	Failed bool
+	// Retries counts task attempts that were re-enqueued: failed attempts
+	// that stayed within the retry budget plus attempts interrupted by an
+	// executor leaving mid-task (churn).
+	Retries int
+	// FailedTasks counts task attempts that failed outright
+	// (Config.Failures.TaskFailProb), whether or not they were retried.
+	FailedTasks int
+	// Stragglers counts task attempts hit by the heavy-tailed straggler
+	// multiplier (Config.Failures.StragglerProb).
+	Stragglers int
 	// ExecutorSeconds accumulates executor occupancy (task time plus move
 	// time), per executor class.
 	ExecutorSeconds map[int]float64
@@ -84,6 +101,9 @@ type JobState struct {
 	// keyed by Version and recompute only what an event actually touched.
 	Version uint64
 }
+
+// finished reports the job has left the system, successfully or not.
+func (j *JobState) finished() bool { return j.Done || j.Failed }
 
 // touch records a mutation of the job's runtime state. The simulator calls
 // it from every code path that changes a JobState or one of its stages;
@@ -133,10 +153,20 @@ type Executor struct {
 	BoundTo *JobState
 	// busy reports whether the executor is running a task or moving.
 	busy bool
+	// departed reports the executor has left the pool (churn, or an extra
+	// executor that has not joined yet); it is invisible to schedulers.
+	departed bool
+	// running is the stage of the task currently executing on the executor
+	// (nil while free or moving); a leave event uses it to reschedule the
+	// interrupted task.
+	running *StageState
+	// epoch is bumped every time the executor leaves the pool, invalidating
+	// task and move events enqueued before the departure.
+	epoch uint64
 }
 
 // Free reports whether the executor can be assigned work right now.
-func (e *Executor) Free() bool { return !e.busy }
+func (e *Executor) Free() bool { return !e.busy && !e.departed }
 
 // LocalTo reports whether assigning the executor to job j avoids the move
 // delay.
@@ -161,7 +191,10 @@ type State struct {
 	Jobs []*JobState
 	// FreeExecutors lists currently assignable executors.
 	FreeExecutors []*Executor
-	// TotalExecutors is the cluster's executor count.
+	// TotalExecutors is the cluster's current executor count. Under failure
+	// dynamics (Config.Failures) this shrinks when executors churn away and
+	// grows when they rejoin or extra executors arrive, so schedulers must
+	// not assume it is constant across scheduling events.
 	TotalExecutors int
 	// JobSeconds is the integral of the number-of-jobs-in-system over time
 	// up to Time; consecutive differences give the paper's reward

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// FailureProfile is a named failure regime: the failure-dynamics parameters
+// (executor churn, straggler tail, task-failure probability, MTTR) a
+// simulation runs under. Profiles compose with every arrival process — the
+// arrival functions shape the job sequence, the profile shapes the cluster
+// the jobs run on — via Apply on the simulator config.
+type FailureProfile struct {
+	// Name identifies the regime (the -failures flag of decima-bench).
+	Name string
+	// Desc is a one-line human description.
+	Desc string
+	// Config is the simulator's failure-dynamics parameterisation.
+	Config sim.FailureConfig
+}
+
+// Apply returns cfg with the profile's failure dynamics installed.
+func (p FailureProfile) Apply(cfg sim.Config) sim.Config {
+	cfg.Failures = p.Config
+	return cfg
+}
+
+// regimes is the canned regime registry. Rates are calibrated to the
+// paper-scale cluster (tens of executors, jobs lasting minutes): lossy
+// stresses the retry path without failing whole jobs, flash-churn cycles a
+// large fraction of the pool through repeated departures.
+var regimes = map[string]FailureProfile{
+	"clean": {
+		Name: "clean",
+		Desc: "no failures; the pre-failure simulator behaviour",
+	},
+	"stragglers": {
+		Name:   "stragglers",
+		Desc:   "10% of task attempts draw a heavy-tailed (Pareto alpha=1.5) slowdown",
+		Config: sim.FailureConfig{StragglerProb: 0.1, StragglerAlpha: 1.5},
+	},
+	"lossy": {
+		Name: "lossy",
+		Desc: "5% of task attempts fail partway (8 retries per stage) and 5% straggle",
+		Config: sim.FailureConfig{
+			TaskFailProb: 0.05, MaxRetries: 8,
+			StragglerProb: 0.05, StragglerAlpha: 2,
+		},
+	},
+	"flash-churn": {
+		Name:   "flash-churn",
+		Desc:   "executors depart at 0.1/s and rejoin after ~15s (mean)",
+		Config: sim.FailureConfig{ChurnRate: 0.1, MTTR: 15},
+	},
+}
+
+// Regime returns the canned failure profile with the given name.
+func Regime(name string) (FailureProfile, error) {
+	p, ok := regimes[name]
+	if !ok {
+		return FailureProfile{}, fmt.Errorf("workload: unknown failure regime %q (have %v)", name, RegimeNames())
+	}
+	return p, nil
+}
+
+// RegimeNames lists the canned regimes in sorted order.
+func RegimeNames() []string {
+	names := make([]string, 0, len(regimes))
+	for n := range regimes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegimeLookup(t *testing.T) {
+	for _, name := range RegimeNames() {
+		p, err := Regime(name)
+		if err != nil {
+			t.Fatalf("Regime(%q): %v", name, err)
+		}
+		if p.Name != name || p.Desc == "" {
+			t.Fatalf("Regime(%q) = %+v", name, p)
+		}
+	}
+	if _, err := Regime("nope"); err == nil {
+		t.Fatal("unknown regime accepted")
+	}
+}
+
+func TestRegimeCoverage(t *testing.T) {
+	clean, _ := Regime("clean")
+	if clean.Config.Enabled() {
+		t.Fatalf("clean regime enables failures: %+v", clean.Config)
+	}
+	// The non-clean regimes must together exercise all three failure event
+	// families: churn, stragglers, and task retry.
+	var churn, straggle, fail bool
+	for _, name := range RegimeNames() {
+		p, _ := Regime(name)
+		if name != "clean" && !p.Config.Enabled() {
+			t.Fatalf("regime %q enables nothing", name)
+		}
+		churn = churn || p.Config.ChurnRate > 0
+		straggle = straggle || p.Config.StragglerProb > 0
+		fail = fail || p.Config.TaskFailProb > 0
+	}
+	if !churn || !straggle || !fail {
+		t.Fatalf("regimes miss a failure family: churn=%v stragglers=%v fail=%v", churn, straggle, fail)
+	}
+}
+
+// TestProfileComposesWithArrivals runs a Poisson workload under each regime
+// end-to-end: Apply installs the dynamics and the run terminates.
+func TestProfileComposesWithArrivals(t *testing.T) {
+	greedy := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
+		for _, st := range s.RunnableStages() {
+			if s.FreeCount(st) > 0 {
+				return &sim.Action{Stage: st, Limit: s.TotalExecutors, Class: -1}
+			}
+		}
+		return nil
+	})
+	for _, name := range RegimeNames() {
+		p, _ := Regime(name)
+		rng := rand.New(rand.NewSource(1))
+		jobs := Poisson(rng, 5, 20)
+		cfg := p.Apply(sim.SparkDefaults(10))
+		res := sim.New(cfg, jobs, greedy, rng).Run()
+		if res.Deadlock {
+			t.Fatalf("regime %q deadlocked", name)
+		}
+		if res.Unfinished != 0 {
+			t.Fatalf("regime %q left %d jobs unfinished", name, res.Unfinished)
+		}
+	}
+}
