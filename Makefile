@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-robustness smoke-server smoke-restart fmt vet docs-check
+.PHONY: all build test race bench bench-json bench-robustness smoke-server smoke-restart smoke-fleet fmt vet docs-check
 
 all: build vet fmt docs-check test
 
@@ -44,6 +44,9 @@ docs-check:
 # BENCH_kernels.json: raw matmul kernel throughput (the "GFLOP/s" extra
 # metric) at the stack's decision/batch/replay shapes, float64 vs float32
 # storage, plus the -matmul-workers scaling sweep; see docs/KERNELS.md.
+# BENCH_fleet.json: aggregate serving throughput through the
+# session-sharding router at 1/2/4 replicas ("events/sec"), with the
+# "migrations" metric pinning the steady state at zero; see docs/FLEET.md.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferenceDecision' -benchtime=200x ./internal/core/ > bench-core.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig9a$$' -benchtime=1x . > bench-fig9a.out
@@ -54,8 +57,10 @@ bench-json:
 	cat bench-training.out | $(GO) run ./cmd/benchjson > BENCH_training.json
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel' -benchtime=100x ./internal/nn/ > bench-kernels.out
 	cat bench-kernels.out | $(GO) run ./cmd/benchjson > BENCH_kernels.json
-	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out
-	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput' -benchtime=2x ./internal/fleet/ > bench-fleet.out
+	cat bench-fleet.out | $(GO) run ./cmd/benchjson > BENCH_fleet.json
+	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out bench-fleet.out
+	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json BENCH_fleet.json
 
 # BENCH_robustness.json: the failure-regime matrix (CI `robustness` job).
 # First the fast lossy-regime gate the job is named for (decima trained
@@ -78,6 +83,15 @@ smoke-server:
 smoke-restart:
 	$(GO) build -o bin/decima-server ./cmd/decima-server
 	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -restart
+
+# Fleet smoke: router + 3 real replica processes; SIGKILL one replica
+# mid-session, drain another via the admin endpoint, and require the
+# healed schedule to be identical to an unsharded uninterrupted run
+# (docs/FLEET.md).
+smoke-fleet:
+	$(GO) build -o bin/decima-server ./cmd/decima-server
+	$(GO) build -o bin/decima-fleet ./cmd/decima-fleet
+	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -fleet-bin bin/decima-fleet -fleet
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -12,20 +12,33 @@
 // `-batch-window`; see docs/PROTOCOL.md) with per-session results
 // bit-identical to unbatched serving.
 //
+// As a fleet replica (`-replica-id`, `-http`; see docs/FLEET.md) the server
+// announces its identity in Open replies and exposes /healthz and /metrics
+// beside the RPC listener. SIGTERM drains gracefully: new sessions are
+// refused, /healthz flips to "draining" (telling a fleet router to migrate
+// the replica's sessions away), and the process exits once its sessions are
+// gone or -drain-timeout elapses. SIGINT still shuts down immediately.
+//
 // Example:
 //
 //	decima-server -addr 127.0.0.1:7764 -executors 25 -model model.gob
 //	decima-server -scheduler fifo
+//	decima-server -replica-id r1 -http 127.0.0.1:9101
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nn"
@@ -35,18 +48,21 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7764", "listen address")
-		schedName   = flag.String("scheduler", "decima", "default policy served to sessions that do not name one ("+strings.Join(scheduler.Names(), "|")+")")
-		executors   = flag.Int("executors", 25, "executor count the decima model was built for")
-		model       = flag.String("model", "", "optional trained decima model to load")
-		sampled     = flag.Bool("sampled", false, "sample actions instead of greedy argmax")
-		seed        = flag.Int64("seed", 1, "random seed for schedulers (per-session seeds from OpenSession take precedence)")
-		maxSessions = flag.Int("max-sessions", rpcsvc.DefaultMaxSessions, "bound on concurrent sessions (LRU eviction beyond it; <0 unbounded)")
-		idleTimeout = flag.Duration("idle-timeout", rpcsvc.DefaultIdleTimeout, "evict sessions idle for this long (<0 never)")
-		maxBatch    = flag.Int("max-batch", rpcsvc.DefaultMaxBatch, "max concurrent decima decisions coalesced into one stacked forward (<=1 disables batching)")
-		batchWindow = flag.Duration("batch-window", 0, "extra wait for stragglers once >=2 decisions are queued (0 = adaptive only; lone requests are never delayed)")
-		f32         = flag.Bool("f32", false, "float32 inference storage (tolerance-bounded, see docs/KERNELS.md; off = bitwise float64)")
-		matmulWk    = flag.Int("matmul-workers", 0, "matmul kernel workers for tall stacked forwards (0 = one per CPU; results identical for any value)")
+		addr         = flag.String("addr", "127.0.0.1:7764", "listen address")
+		schedName    = flag.String("scheduler", "decima", "default policy served to sessions that do not name one ("+strings.Join(scheduler.Names(), "|")+")")
+		executors    = flag.Int("executors", 25, "executor count the decima model was built for")
+		model        = flag.String("model", "", "optional trained decima model to load")
+		sampled      = flag.Bool("sampled", false, "sample actions instead of greedy argmax")
+		seed         = flag.Int64("seed", 1, "random seed for schedulers (per-session seeds from OpenSession take precedence)")
+		maxSessions  = flag.Int("max-sessions", rpcsvc.DefaultMaxSessions, "bound on concurrent sessions (LRU eviction beyond it; <0 unbounded)")
+		idleTimeout  = flag.Duration("idle-timeout", rpcsvc.DefaultIdleTimeout, "evict sessions idle for this long (<0 never)")
+		maxBatch     = flag.Int("max-batch", rpcsvc.DefaultMaxBatch, "max concurrent decima decisions coalesced into one stacked forward (<=1 disables batching)")
+		batchWindow  = flag.Duration("batch-window", 0, "extra wait for stragglers once >=2 decisions are queued (0 = adaptive only; lone requests are never delayed)")
+		f32          = flag.Bool("f32", false, "float32 inference storage (tolerance-bounded, see docs/KERNELS.md; off = bitwise float64)")
+		matmulWk     = flag.Int("matmul-workers", 0, "matmul kernel workers for tall stacked forwards (0 = one per CPU; results identical for any value)")
+		replicaID    = flag.String("replica-id", "", "fleet replica identity announced in Open replies and metrics (empty for standalone)")
+		httpAddr     = flag.String("http", "", "ops HTTP address serving /healthz and /metrics (empty disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for sessions to leave after SIGTERM before exiting anyway")
 	)
 	flag.Parse()
 	nn.SetInference32(*f32)
@@ -76,6 +92,7 @@ func main() {
 		IdleTimeout: *idleTimeout,
 		MaxBatch:    *maxBatch,
 		BatchWindow: *batchWindow,
+		ReplicaID:   *replicaID,
 		New: func(name string, sessSeed int64) (scheduler.Scheduler, error) {
 			if sessSeed == 0 {
 				sessSeed = *seed
@@ -101,9 +118,40 @@ func main() {
 		fmt.Println("decision batching off")
 	}
 
+	logger := slog.Default().With("replica", *replicaID)
+	if *httpAddr != "" {
+		lis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("ops listen: %v", err)
+		}
+		ops := &http.Server{Handler: rpcsvc.NewOpsHandler(srv.Service())}
+		go ops.Serve(lis)
+		defer ops.Close()
+		// NOTE: this banner must not contain "listening on " — process
+		// supervisors (decima-smoke, decima-fleet) parse that substring to
+		// find the RPC address.
+		fmt.Printf("ops http on %s\n", lis.Addr())
+	}
+
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	sig := <-ch
+	if sig == syscall.SIGTERM {
+		// Graceful drain: refuse new sessions, keep serving the live ones
+		// so a fleet router can migrate them, and leave once they are gone.
+		srv.Service().SetDraining(true)
+		logger.Info("draining on SIGTERM", "sessions", srv.Sessions(), "timeout", *drainTimeout)
+		deadline := time.Now().Add(*drainTimeout)
+		for srv.Sessions() > 0 && time.Now().Before(deadline) {
+			select {
+			case <-ch: // second signal: stop waiting
+				logger.Info("drain interrupted by second signal")
+				deadline = time.Time{}
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		logger.Info("drain complete", "sessions", srv.Sessions())
+	}
 	fmt.Println("shutting down")
 	if err := srv.Close(); err != nil {
 		log.Fatalf("close: %v", err)

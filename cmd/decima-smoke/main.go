@@ -11,20 +11,33 @@
 // crash (retry, redial, reopen from its snapshot) and produce exactly the
 // reference schedule.
 //
+// With -fleet it exercises the sharded serving plane end to end: a
+// decima-fleet router spawns three real replica processes, a session runs
+// against the router while the replica hosting it is SIGKILLed at one third
+// of the run and the next host is drained through the admin endpoint at two
+// thirds; the healed schedule must be identical to a single-server
+// reference, and the fleet /metrics exposition must show the migrations.
+//
 //	go build -o bin/decima-server ./cmd/decima-server
 //	go run ./cmd/decima-smoke -bin bin/decima-server -events 100
 //	go run ./cmd/decima-smoke -bin bin/decima-server -restart
+//	go build -o bin/decima-fleet ./cmd/decima-fleet
+//	go run ./cmd/decima-smoke -bin bin/decima-server -fleet-bin bin/decima-fleet -fleet
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/rpcsvc"
@@ -38,6 +51,8 @@ func main() {
 		events    = flag.Int("events", 100, "minimum number of scheduling events to drive")
 		executors = flag.Int("executors", 8, "simulated cluster size")
 		restart   = flag.Bool("restart", false, "kill and restart the server mid-session; assert the client self-heals with an identical schedule")
+		fleetRun  = flag.Bool("fleet", false, "run the sharded-fleet scenario: router + 3 replica processes, SIGKILL one and drain another mid-session")
+		fleetBin  = flag.String("fleet-bin", "bin/decima-fleet", "path to the decima-fleet binary (with -fleet)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	)
 	flag.Parse()
@@ -49,6 +64,10 @@ func main() {
 
 	if *restart {
 		restartScenario(*bin, *executors)
+		return
+	}
+	if *fleetRun {
+		fleetScenario(*bin, *fleetBin, *executors)
 		return
 	}
 
@@ -215,4 +234,204 @@ func restartScenario(bin string, executors int) {
 	}
 	fmt.Printf("SMOKE OK: server killed at event %d/%d, session healed with an identical schedule (%d transient errors ridden out)\n",
 		killAt, ref.Invocations, errs)
+}
+
+// launchFleet starts a decima-fleet router that spawns three replica
+// processes, waits for the router and admin banners, and returns the
+// process plus the router RPC and admin HTTP addresses.
+func launchFleet(fleetBin, serverBin string, executors int) (*exec.Cmd, string, string) {
+	cmd := exec.Command(fleetBin,
+		"-addr", "127.0.0.1:0",
+		"-metrics-addr", "127.0.0.1:0",
+		"-spawn", "3",
+		"-server-bin", serverBin,
+		"-executors", fmt.Sprint(executors),
+		"-health-interval", "100ms",
+		"-down-after", "1",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatalf("smoke: stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("smoke: start fleet: %v", err)
+	}
+
+	sc := bufio.NewScanner(stdout)
+	var rpcAddr, adminAddr string
+	for (rpcAddr == "" || adminAddr == "") && sc.Scan() {
+		line := sc.Text()
+		fmt.Println("[fleet]", line)
+		// The replica children's banners are echoed with a "[rN]" prefix and
+		// also contain "listening on"; match the router's banners precisely.
+		if i := strings.LastIndex(line, "fleet router listening on "); i >= 0 {
+			rpcAddr = strings.TrimSpace(line[i+len("fleet router listening on "):])
+		}
+		if i := strings.LastIndex(line, "fleet admin http on "); i >= 0 {
+			adminAddr = strings.TrimSpace(line[i+len("fleet admin http on "):])
+		}
+	}
+	if rpcAddr == "" || adminAddr == "" {
+		log.Fatal("smoke: fleet never announced its addresses")
+	}
+	go func() {
+		for sc.Scan() {
+			fmt.Println("[fleet]", sc.Text())
+		}
+	}()
+	return cmd, rpcAddr, adminAddr
+}
+
+// adminGET fetches one fleet admin endpoint.
+func adminGET(adminAddr, path string) []byte {
+	resp, err := http.Get("http://" + adminAddr + path)
+	if err != nil {
+		log.Fatalf("smoke: GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("smoke: GET %s: %s: %s", path, resp.Status, body)
+	}
+	return body
+}
+
+// replicaPID looks a replica's process id up on the admin /fleet endpoint.
+func replicaPID(adminAddr, id string) int {
+	var info struct {
+		Replicas []struct {
+			ID  string `json:"id"`
+			PID int    `json:"pid"`
+		} `json:"replicas"`
+	}
+	if err := json.Unmarshal(adminGET(adminAddr, "/fleet"), &info); err != nil {
+		log.Fatalf("smoke: parse /fleet: %v", err)
+	}
+	for _, r := range info.Replicas {
+		if r.ID == id {
+			return r.PID
+		}
+	}
+	log.Fatalf("smoke: replica %q not in /fleet", id)
+	return 0
+}
+
+// fleetScenario runs the sharded serving check: a single-server reference
+// run, then the identical workload through a decima-fleet router with three
+// spawned replicas — SIGKILLing the session's replica at one third of the
+// run and draining its next host at two thirds. The healed schedule must be
+// bitwise identical to the reference and the fleet metrics must record both
+// migrations.
+func fleetScenario(serverBin, fleetBin string, executors int) {
+	const seed = 1
+
+	// Reference: the same workload against one plain decima-server.
+	refCmd, refAddr := launchServer(serverBin, "127.0.0.1:0", executors)
+	refCli, err := rpcsvc.Dial(refAddr)
+	if err != nil {
+		log.Fatalf("smoke: dial %s: %v", refAddr, err)
+	}
+	refSS := &rpcsvc.SessionScheduler{Client: refCli, Seed: seed}
+	jobs := workload.Batch(rand.New(rand.NewSource(seed)), 6)
+	ref := sim.New(sim.SparkDefaults(executors), jobs, refSS, rand.New(rand.NewSource(seed))).Run()
+	if ref.Deadlock || ref.Unfinished != 0 {
+		log.Fatalf("smoke: reference run failed: unfinished=%d deadlock=%v", ref.Unfinished, ref.Deadlock)
+	}
+	if err := refSS.Close(); err != nil {
+		log.Fatalf("smoke: close reference session: %v", err)
+	}
+	refCli.Close()
+	refCmd.Process.Signal(os.Interrupt)
+	refCmd.Wait()
+	fmt.Printf("smoke: reference run ok, %d events\n", ref.Invocations)
+
+	killAt, drainAt := ref.Invocations/3, 2*ref.Invocations/3
+	if killAt < 1 || drainAt <= killAt {
+		log.Fatalf("smoke: reference run too short to interrupt (%d events)", ref.Invocations)
+	}
+
+	fleetCmd, routerAddr, adminAddr := launchFleet(fleetBin, serverBin, executors)
+	defer fleetCmd.Process.Kill()
+
+	cli, err := rpcsvc.Dial(routerAddr)
+	if err != nil {
+		log.Fatalf("smoke: dial router %s: %v", routerAddr, err)
+	}
+	defer cli.Close()
+
+	errs := 0
+	ss := &rpcsvc.SessionScheduler{
+		Client: cli, Seed: seed, Key: "smoke-fleet",
+		MaxRetries: 10, Backoff: 50 * time.Millisecond,
+		OnError: func(error) { errs++ },
+	}
+	var killed, drained string
+	n := 0
+	chaos := sim.SchedulerFunc(func(st *sim.State) *sim.Action {
+		n++
+		if n == killAt {
+			killed = ss.Replica()
+			pid := replicaPID(adminAddr, killed)
+			fmt.Printf("smoke: SIGKILL replica %s (pid %d) at event %d\n", killed, pid, n)
+			if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+				log.Fatalf("smoke: kill replica %s: %v", killed, err)
+			}
+		}
+		if n == drainAt {
+			drained = ss.Replica()
+			if drained == "" || drained == killed {
+				log.Fatalf("smoke: session on %q at drain point (killed %q): failover never happened", drained, killed)
+			}
+			fmt.Printf("smoke: draining replica %s at event %d\n", drained, n)
+			fmt.Printf("smoke: %s\n", strings.TrimSpace(string(adminGET(adminAddr, "/drain?replica="+drained))))
+		}
+		return ss.Schedule(st)
+	})
+	res := sim.New(sim.SparkDefaults(executors), workload.Batch(rand.New(rand.NewSource(seed)), 6), chaos, rand.New(rand.NewSource(seed))).Run()
+	if res.Deadlock || res.Unfinished != 0 {
+		log.Fatalf("smoke: fleet run failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+	if errs == 0 {
+		log.Fatal("smoke: neither kill nor drain was observed by the session client")
+	}
+	if ss.Degraded() {
+		log.Fatal("smoke: client fell back to degraded mode instead of healing")
+	}
+	if final := ss.Replica(); final == killed || final == drained {
+		log.Fatalf("smoke: session ended on %q (killed %q, drained %q)", final, killed, drained)
+	}
+	cs := ss.Stats()
+	if cs.Evicted < 1 || cs.WrongShard < 1 {
+		log.Fatalf("smoke: recovery counters %+v: want Evicted>=1 (kill) and WrongShard>=1 (drain)", cs)
+	}
+	if got, want := fingerprint(res), fingerprint(ref); got != want {
+		log.Fatalf("smoke: fleet run diverged from reference:\n  fleet     %s\n  reference %s", got, want)
+	}
+
+	prom := string(adminGET(adminAddr, "/metrics"))
+	for _, want := range []string{
+		`fleet_replica_sessions{replica="`,
+		`fleet_migrations_total{reason="drain"} 1`,
+		`fleet_migrations_total{reason="failover"} 1`,
+		"fleet_replica_events_total",
+		"fleet_replica_decide_latency_seconds_bucket",
+	} {
+		if !strings.Contains(prom, want) {
+			log.Fatalf("smoke: fleet /metrics missing %q:\n%s", want, prom)
+		}
+	}
+	if err := ss.Close(); err != nil {
+		log.Fatalf("smoke: close fleet session: %v", err)
+	}
+
+	// SIGTERM = fleet-wide drain; router and surviving children must exit.
+	if err := fleetCmd.Process.Signal(syscall.SIGTERM); err != nil {
+		log.Fatalf("smoke: signal fleet: %v", err)
+	}
+	if err := fleetCmd.Wait(); err != nil {
+		log.Fatalf("smoke: fleet did not shut down cleanly: %v", err)
+	}
+	fmt.Printf("SMOKE OK: fleet healed SIGKILL of %s at event %d and drain of %s at event %d with an identical schedule (%d errors ridden out)\n",
+		killed, killAt, drained, drainAt, errs)
 }

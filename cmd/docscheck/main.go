@@ -1,6 +1,7 @@
 // Command docscheck verifies documentation consistency: every repository
 // file referenced from the core documents (README.md, DESIGN.md,
-// EXPERIMENTS.md, docs/PROTOCOL.md, docs/KERNELS.md, doc.go) must exist. It exists because
+// EXPERIMENTS.md, docs/PROTOCOL.md, docs/KERNELS.md, docs/FLEET.md,
+// doc.go) must exist. It exists because
 // docs rot silently — doc.go once pointed readers at an EXPERIMENTS.md
 // that was never written — and CI runs it (make docs-check) so a renamed
 // or deleted file fails the build instead of stranding readers.
@@ -32,6 +33,7 @@ var docs = []string{
 	"EXPERIMENTS.md",
 	"docs/PROTOCOL.md",
 	"docs/KERNELS.md",
+	"docs/FLEET.md",
 	"doc.go",
 }
 

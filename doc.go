@@ -9,7 +9,9 @@
 // figure/table ↔ experiment/benchmark mapping with current measured
 // numbers, docs/KERNELS.md for the numeric kernel layer (blocked parallel
 // matmul, float32 inference storage, benchmark artifacts), and
-// docs/PROTOCOL.md for the RPC scheduling service's wire protocol. The repository-level benchmarks (bench_test.go) regenerate
+// docs/PROTOCOL.md for the RPC scheduling service's wire protocol, and
+// docs/FLEET.md for the distributed serving tier (session-sharding
+// router, replica lifecycle, fleet observability). The repository-level benchmarks (bench_test.go) regenerate
 // every table and figure of the paper's evaluation at a small scale;
 // cmd/decima-bench runs them at larger scales.
 package repro

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ReplicaInfo is one replica's row in the /fleet topology report.
+type ReplicaInfo struct {
+	ID       string `json:"id"`
+	Addr     string `json:"addr"`
+	OpsAddr  string `json:"ops_addr,omitempty"`
+	PID      int    `json:"pid,omitempty"`
+	Up       bool   `json:"up"`
+	Draining bool   `json:"draining"`
+	Sessions int    `json:"sessions"`
+	Events   uint64 `json:"events"`
+}
+
+// Info is the /fleet topology report.
+type Info struct {
+	Sessions int           `json:"sessions"`
+	Replicas []ReplicaInfo `json:"replicas"`
+}
+
+// Info snapshots the fleet topology.
+func (rt *Router) Info() Info {
+	rt.mu.RLock()
+	reps := make([]*replica, 0, len(rt.replicas))
+	for _, rep := range rt.replicas {
+		reps = append(reps, rep)
+	}
+	rt.mu.RUnlock()
+	sort.Slice(reps, func(i, j int) bool { return reps[i].id < reps[j].id })
+	info := Info{Sessions: rt.Sessions()}
+	for _, rep := range reps {
+		rep.mu.Lock()
+		up, draining := rep.up, rep.draining
+		rep.mu.Unlock()
+		info.Replicas = append(info.Replicas, ReplicaInfo{
+			ID:       rep.id,
+			Addr:     rep.addr,
+			OpsAddr:  rep.opsAddr,
+			PID:      rep.pid,
+			Up:       up,
+			Draining: draining,
+			Sessions: rt.sessionsOn(rep.id),
+			Events:   rep.events.Load(),
+		})
+	}
+	return info
+}
+
+// WriteProm renders the router's fleet-wide view in Prometheus text
+// exposition format: per-replica placement and traffic (sessions, event
+// counters and per-second rates, forward-latency histograms, up/draining
+// gauges) plus the fleet totals and migration counters. The events-per-
+// second gauges are computed from the counter delta since the previous
+// scrape, so the first scrape reports 0.
+func (rt *Router) WriteProm(w io.Writer) {
+	rt.scrapeMu.Lock()
+	defer rt.scrapeMu.Unlock()
+	now := time.Now()
+	dt := now.Sub(rt.lastScrape).Seconds()
+	first := rt.lastScrape.IsZero()
+	rt.lastScrape = now
+
+	info := rt.Info()
+	fmt.Fprintf(w, "# TYPE fleet_replicas gauge\nfleet_replicas %d\n", len(info.Replicas))
+	fmt.Fprintf(w, "# TYPE fleet_sessions gauge\nfleet_sessions %d\n", info.Sessions)
+
+	gauges := func(name string, val func(ReplicaInfo) float64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		for _, ri := range info.Replicas {
+			fmt.Fprintf(w, "%s{replica=%q} %g\n", name, ri.ID, val(ri))
+		}
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	gauges("fleet_replica_up", func(ri ReplicaInfo) float64 { return b2f(ri.Up) })
+	gauges("fleet_replica_draining", func(ri ReplicaInfo) float64 { return b2f(ri.Draining) })
+	gauges("fleet_replica_sessions", func(ri ReplicaInfo) float64 { return float64(ri.Sessions) })
+
+	fmt.Fprintf(w, "# TYPE fleet_replica_events_total counter\n")
+	for _, ri := range info.Replicas {
+		fmt.Fprintf(w, "fleet_replica_events_total{replica=%q} %d\n", ri.ID, ri.Events)
+	}
+
+	fmt.Fprintf(w, "# TYPE fleet_replica_events_per_second gauge\n")
+	for _, ri := range info.Replicas {
+		rep := rt.replica(ri.ID)
+		if rep == nil {
+			continue
+		}
+		rate := rep.lastRate
+		if !first && dt > 0 {
+			rate = float64(ri.Events-rep.lastEvents) / dt
+			rep.lastRate = rate
+		}
+		rep.lastEvents = ri.Events
+		fmt.Fprintf(w, "fleet_replica_events_per_second{replica=%q} %g\n", ri.ID, rate)
+	}
+
+	for _, ri := range info.Replicas {
+		rep := rt.replica(ri.ID)
+		if rep == nil {
+			continue
+		}
+		rep.forward.Snapshot().WriteProm(w, "fleet_replica_decide_latency_seconds", fmt.Sprintf("replica=%q", ri.ID))
+	}
+
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	counter("fleet_opens_total", rt.stats.opens.Load())
+	counter("fleet_events_total", rt.stats.events.Load())
+	counter("fleet_closes_total", rt.stats.closes.Load())
+	counter("fleet_unroutable_total", rt.stats.noReplica.Load())
+	counter("fleet_wrong_shard_total", rt.stats.wrongShard.Load())
+	counter("fleet_unknown_session_total", rt.stats.unknown.Load())
+	fmt.Fprintf(w, "# TYPE fleet_migrations_total counter\n")
+	fmt.Fprintf(w, "fleet_migrations_total{reason=\"drain\"} %d\n", rt.stats.migrationsDrain.Load())
+	fmt.Fprintf(w, "fleet_migrations_total{reason=\"failover\"} %d\n", rt.stats.migrationsFailover.Load())
+}

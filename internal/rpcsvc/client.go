@@ -51,6 +51,11 @@ func (c *Client) call(method string, args, reply any) error {
 	return rc.Call(method, args, reply)
 }
 
+// Redial replaces the transport with a fresh dial (unless a concurrent
+// redial already did). A fleet router's health loop uses it to resurrect a
+// replica connection once the replica answers probes again.
+func (c *Client) Redial() error { return c.redialFrom(c.generation()) }
+
 // redialFrom replaces the transport with a fresh dial, but only if the
 // connection is still the one observed at generation gen — when several
 // goroutines share a Client and all hit the same dead transport, exactly one
@@ -88,11 +93,40 @@ func (c *Client) Schedule(req *ScheduleRequest) (*ScheduleResponse, error) {
 // the client-side handle that tracks what the server has seen, so each
 // Event ships only the delta.
 func (c *Client) OpenSession(req *OpenRequest) (*Session, error) {
+	resp, err := c.OpenRPC(req)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, sid: resp.SID, replica: resp.Replica, total: req.TotalExecutors, shadow: make(map[int]*shadowJob)}, nil
+}
+
+// OpenRPC, EventRPC and CloseRPC perform raw single round trips of the
+// session protocol, without client-side shadow state. They exist for
+// proxies — the fleet router forwards requests verbatim (SIDs rewritten)
+// and must not diff or commit anything.
+
+// OpenRPC sends one Open request as-is.
+func (c *Client) OpenRPC(req *OpenRequest) (*OpenResponse, error) {
 	var resp OpenResponse
 	if err := c.call("Decima.Open", req, &resp); err != nil {
 		return nil, err
 	}
-	return &Session{c: c, sid: resp.SID, total: req.TotalExecutors, shadow: make(map[int]*shadowJob)}, nil
+	return &resp, nil
+}
+
+// EventRPC sends one Event request as-is.
+func (c *Client) EventRPC(req *EventRequest) (*EventResponse, error) {
+	var resp EventResponse
+	if err := c.call("Decima.Event", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CloseRPC sends one Close request as-is.
+func (c *Client) CloseRPC(req *CloseRequest) error {
+	var resp CloseResponse
+	return c.call("Decima.Close", req, &resp)
 }
 
 // Close terminates the connection.
@@ -117,15 +151,20 @@ type shadowJob struct {
 // observed cluster state against it and sends only the changes. Not safe
 // for concurrent use — one session drives one cluster's event stream.
 type Session struct {
-	c      *Client
-	sid    uint64
-	seq    uint64
-	total  int // last executor count the server acknowledged
-	shadow map[int]*shadowJob
+	c       *Client
+	sid     uint64
+	replica string
+	seq     uint64
+	total   int // last executor count the server acknowledged
+	shadow  map[int]*shadowJob
 }
 
 // SID returns the server-assigned session id.
 func (s *Session) SID() uint64 { return s.sid }
+
+// Replica returns the identity of the server instance that opened the
+// session ("" on servers predating replica identity).
+func (s *Session) Replica() string { return s.replica }
 
 // Event sends the delta between st and the last acknowledged state, and
 // resolves the server's decision against st. The shadow advances only on a
@@ -296,6 +335,12 @@ const DefaultSessionBackoff = 25 * time.Millisecond
 //     sweep, restart): reopen from the client snapshot. A fresh session's
 //     first delta resends every in-system job in full, re-seeding the
 //     server-side mirror through the ordinary delta/commit path.
+//   - wrong shard (a fleet router migrated the session off its replica —
+//     drain or replica loss): same reopen, immediately and without backoff;
+//     the reopened session routes to the session key's new owner.
+//   - replica draining (an Open hit a server that is shutting down): back
+//     off and retry — behind a router the retry re-routes, on a single
+//     address a replacement process typically takes over.
 //   - transient transport failure (connection died, server restarting):
 //     redial the same address with exponential backoff and reopen.
 //   - anything else (a fatal application error — unknown scheduler name,
@@ -313,6 +358,10 @@ type SessionScheduler struct {
 	Name string
 	// Seed seeds the session's scheduler.
 	Seed int64
+	// Key is the session routing key a fleet router consistent-hashes onto
+	// a replica; reopens carry the same key, so placement is sticky while
+	// the replica set is stable. Empty lets the router mint one per open.
+	Key string
 	// Fallback names a registry scheduler (internal/scheduler) to decide
 	// locally when the server is unreachable or answers fatally; empty
 	// declines instead (executors stay idle until the server heals).
@@ -327,9 +376,23 @@ type SessionScheduler struct {
 	OnError func(error)
 
 	sess     *Session
+	opened   bool // a session existed before: the next open is a reopen
 	degraded bool
 	fb       scheduler.Scheduler
 	fbBroken bool
+	stats    ClientStats
+}
+
+// Stats snapshots the scheduler's recovery counters.
+func (r *SessionScheduler) Stats() ClientStatsSnapshot { return r.stats.snapshot() }
+
+// Replica returns the identity of the replica serving the current session
+// ("" before the first open or while the session is torn down).
+func (r *SessionScheduler) Replica() string {
+	if r.sess == nil {
+		return ""
+	}
+	return r.sess.Replica()
 }
 
 // Schedule implements sim.Scheduler over the session protocol with the
@@ -351,9 +414,11 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 	}
 	for a := 0; a < attempts; a++ {
 		gen := r.Client.generation()
+		r.stats.Attempts.Add(1)
 		act, err := r.eventOnce(s)
 		if err == nil {
 			r.degraded = false
+			r.stats.Events.Add(1)
 			return act
 		}
 		if r.OnError != nil {
@@ -363,15 +428,36 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 		case IsSessionEvicted(err) || IsSeqGap(err):
 			// Reopen from the client snapshot on the next attempt; no
 			// backoff — the server is alive, it just lost the session.
+			r.stats.Evicted.Add(1)
 			r.sess = nil
+		case IsWrongShard(err):
+			// A router migrated the session (drain, replica loss): reopen
+			// immediately, the reopen routes to the new owner.
+			r.stats.WrongShard.Add(1)
+			r.sess = nil
+		case IsReplicaDraining(err):
+			// The server answered, so the transport is fine — no redial;
+			// back off and retry, a replacement or re-route takes over.
+			r.stats.Draining.Add(1)
+			r.sess = nil
+			if r.degraded {
+				break
+			}
+			time.Sleep(backoff)
+			backoff *= 2
 		case IsTransient(err):
+			r.stats.Transient.Add(1)
 			r.sess = nil
 			if r.degraded {
 				break // degraded probes never sleep
 			}
 			time.Sleep(backoff)
 			backoff *= 2
-			if rerr := r.Client.redialFrom(gen); rerr != nil && r.OnError != nil {
+			if rerr := r.Client.redialFrom(gen); rerr == nil {
+				if r.Client.generation() != gen {
+					r.stats.Redials.Add(1)
+				}
+			} else if r.OnError != nil {
 				r.OnError(rerr)
 			}
 		default:
@@ -391,10 +477,15 @@ func (r *SessionScheduler) eventOnce(s *sim.State) (*sim.Action, error) {
 			Seed:           r.Seed,
 			TotalExecutors: s.TotalExecutors,
 			MoveDelay:      s.MoveDelay,
+			Key:            r.Key,
 		})
 		if err != nil {
 			return nil, err
 		}
+		if r.opened {
+			r.stats.Reopens.Add(1)
+		}
+		r.opened = true
 		r.sess = sess
 	}
 	act, err := r.sess.Event(s)
@@ -428,6 +519,7 @@ func (r *SessionScheduler) fallback(s *sim.State) *sim.Action {
 		}
 		return nil
 	}
+	r.stats.Fallbacks.Add(1)
 	return act
 }
 

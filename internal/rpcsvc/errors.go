@@ -15,8 +15,10 @@ import (
 // are wire protocol: docs/PROTOCOL.md pins them, and changing one breaks old
 // clients' error discrimination.
 const (
-	evictedMarker = "[rpcsvc:evicted]"
-	seqGapMarker  = "[rpcsvc:seq-gap]"
+	evictedMarker    = "[rpcsvc:evicted]"
+	seqGapMarker     = "[rpcsvc:seq-gap]"
+	wrongShardMarker = "[rpcsvc:wrong-shard]"
+	drainingMarker   = "[rpcsvc:draining]"
 )
 
 // ErrSessionEvicted reports the session no longer exists on the server: it
@@ -31,6 +33,20 @@ var ErrSessionEvicted = errors.New("session evicted " + evictedMarker)
 // same reopen-and-resend as eviction.
 var ErrSeqGap = errors.New("event sequence gap " + seqGapMarker)
 
+// ErrWrongShard reports that the session's placement moved: a fleet router
+// migrated it off its replica (drain, replica loss) and the session no
+// longer lives where the client's events are addressed. Recovery is the
+// eviction path — reopen from the client snapshot; the reopen routes to the
+// session's new owner.
+var ErrWrongShard = errors.New("session moved to another shard " + wrongShardMarker)
+
+// ErrReplicaDraining reports the contacted replica (or an entire fleet) is
+// draining and accepts no new sessions. Existing sessions keep serving
+// until migrated; the documented recovery for an Open is to back off and
+// retry — on a fleet the router re-routes, on a single server a replacement
+// process typically takes over the address.
+var ErrReplicaDraining = errors.New("replica draining, not accepting sessions " + drainingMarker)
+
 // IsSessionEvicted reports whether err means the session is gone from the
 // server, in-process or over the wire.
 func IsSessionEvicted(err error) bool {
@@ -41,6 +57,18 @@ func IsSessionEvicted(err error) bool {
 // or over the wire.
 func IsSeqGap(err error) bool {
 	return err != nil && (errors.Is(err, ErrSeqGap) || strings.Contains(err.Error(), seqGapMarker))
+}
+
+// IsWrongShard reports whether err means the session was migrated to
+// another replica, in-process or over the wire.
+func IsWrongShard(err error) bool {
+	return err != nil && (errors.Is(err, ErrWrongShard) || strings.Contains(err.Error(), wrongShardMarker))
+}
+
+// IsReplicaDraining reports whether err is a draining rejection, in-process
+// or over the wire.
+func IsReplicaDraining(err error) bool {
+	return err != nil && (errors.Is(err, ErrReplicaDraining) || strings.Contains(err.Error(), drainingMarker))
 }
 
 // IsTransient reports whether err looks like a transport failure worth

@@ -1,0 +1,50 @@
+package rpcsvc
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// The ops surface: every serving process (replica or standalone) can expose
+// a small HTTP endpoint beside its RPC listener — `decima-server -http` —
+// with the two routes a fleet needs:
+//
+//	GET /healthz  liveness + drain state, polled by the router's health
+//	              checker (a draining replica reports status "draining",
+//	              which the router treats as "migrate sessions away")
+//	GET /metrics  Prometheus text exposition of the ServerStats counters
+//
+// The fleet router aggregates its own router-side view at /metrics on its
+// admin address; per-replica process truth lives here.
+
+// HealthStatus is the /healthz response body.
+type HealthStatus struct {
+	// Status is "ok" or "draining".
+	Status   string `json:"status"`
+	Replica  string `json:"replica"`
+	Sessions int    `json:"sessions"`
+}
+
+// NewOpsHandler returns the HTTP handler serving /healthz and /metrics for
+// one Decima service object.
+func NewOpsHandler(d *Decima) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := HealthStatus{Status: "ok", Replica: d.ReplicaID(), Sessions: d.tbl.len()}
+		if d.Draining() {
+			st.Status = "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		snap := d.Stats()
+		labels := ""
+		if snap.Replica != "" {
+			labels = `replica="` + snap.Replica + `"`
+		}
+		snap.WriteProm(w, labels)
+	})
+	return mux
+}

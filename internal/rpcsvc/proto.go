@@ -108,11 +108,22 @@ type OpenRequest struct {
 	// TotalExecutors and MoveDelay are the cluster constants of the run.
 	TotalExecutors int
 	MoveDelay      float64
+	// Key is the session's routing key. A fleet router consistent-hashes it
+	// onto a replica, so a session that reopens under the same key lands on
+	// the same replica while the replica set is unchanged. Empty is valid
+	// (the router mints an ephemeral key); single servers ignore it.
+	Key string
 }
 
 // OpenResponse returns the session id for subsequent Event/Close calls.
 type OpenResponse struct {
 	SID uint64
+	// Replica identifies the server instance that owns the session (the
+	// `-replica-id` of a decima-server, or its listen address). Empty on
+	// servers predating replica identity. Through a fleet router this is the
+	// backing replica actually serving the session, which is how clients,
+	// smoke checks and dashboards observe placement and migration.
+	Replica string
 }
 
 // StageDelta carries one stage's changed runtime counters (absolute new

@@ -87,6 +87,16 @@ func TestEvictionEquivalence(t *testing.T) {
 	if errs == 0 {
 		t.Fatal("forced eviction never surfaced — test exercised nothing")
 	}
+	// The recovery is visible in the exported counters on both ends: the
+	// client classified at least one eviction and reopened, and the retry
+	// volume (attempts beyond answered events) matches the error count.
+	cs := inner.Stats()
+	if cs.Evicted < 1 || cs.Reopens < 1 {
+		t.Fatalf("client stats after eviction recovery = %+v, want Evicted>=1 Reopens>=1", cs)
+	}
+	if cs.Attempts-cs.Events != uint64(errs) {
+		t.Fatalf("retry volume %d (attempts %d - events %d) != observed errors %d", cs.Attempts-cs.Events, cs.Attempts, cs.Events, errs)
+	}
 	if runKey(ref) != runKey(evicted) {
 		t.Fatalf("evicted run diverges from uninterrupted run:\n  local   %s\n  evicted %s", runKey(ref), runKey(evicted))
 	}
@@ -163,6 +173,9 @@ func TestServerRestartEquivalence(t *testing.T) {
 	if ss.Degraded() {
 		t.Fatal("client stuck degraded despite live replacement server")
 	}
+	if cs := ss.Stats(); cs.Transient < 1 || cs.Redials < 1 || cs.Reopens < 1 {
+		t.Fatalf("client stats after restart recovery = %+v, want Transient>=1 Redials>=1 Reopens>=1", cs)
+	}
 	if runKey(ref) != runKey(res) {
 		t.Fatalf("restarted run diverges from uninterrupted run:\n  local     %s\n  restarted %s", runKey(ref), runKey(res))
 	}
@@ -210,6 +223,13 @@ func TestFallbackWhenServerStaysDown(t *testing.T) {
 	}
 	if !ss.Degraded() {
 		t.Fatal("scheduler not degraded with the server down")
+	}
+	cs := ss.Stats()
+	if cs.Fallbacks < 1 || cs.Transient < 1 {
+		t.Fatalf("client stats after degradation = %+v, want Fallbacks>=1 Transient>=1", cs)
+	}
+	if cs.Fallbacks != uint64(res.Invocations) {
+		t.Fatalf("fallback decisions %d != scheduling events %d (every event should decide locally)", cs.Fallbacks, res.Invocations)
 	}
 	if runKey(ref) != runKey(res) {
 		t.Fatalf("fallback run diverges from local fallback policy:\n  local    %s\n  fallback %s", runKey(ref), runKey(res))

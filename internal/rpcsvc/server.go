@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/scheduler"
@@ -38,6 +39,10 @@ type SessionConfig struct {
 	// to join. 0 (the default) relies purely on adaptive coalescing; a lone
 	// request is never delayed either way.
 	BatchWindow time.Duration
+	// ReplicaID names this server instance in Open replies and metrics, so
+	// fleet clients can observe which replica serves a session. Empty is
+	// fine for single-server deployments.
+	ReplicaID string
 }
 
 // DefaultMaxSessions bounds the session table when SessionConfig leaves
@@ -71,16 +76,22 @@ type Decima struct {
 	// into stacked forwards (factory mode only; the legacy shared-scheduler
 	// mode serialises decisions and cannot batch).
 	batch *batcher
+	// replicaID names this instance in Open replies (see SessionConfig).
+	replicaID string
+	// draining, once set, rejects new Opens while existing sessions keep
+	// serving — the SIGTERM graceful-drain mode of cmd/decima-server and
+	// the handshake a fleet router uses to migrate sessions away.
+	draining atomic.Bool
+	stats    ServerStats
 }
 
 // NewDecima wraps one scheduler instance as the service object: all
 // sessions and stateless requests share it, serialised by an internal
 // mutex. Prefer NewDecimaSessions for serving at concurrency.
 func NewDecima(s sim.Scheduler) *Decima {
-	return &Decima{
-		shared: scheduler.FromSim(s),
-		tbl:    newSessionTable(DefaultMaxSessions, DefaultIdleTimeout),
-	}
+	d := &Decima{shared: scheduler.FromSim(s)}
+	d.tbl = newSessionTable(DefaultMaxSessions, DefaultIdleTimeout, &d.stats)
+	return d
 }
 
 // NewDecimaSessions builds the service object for per-session scheduler
@@ -106,7 +117,8 @@ func NewDecimaSessions(cfg SessionConfig) *Decima {
 			return scheduler.New(name, scheduler.Options{Seed: seed})
 		}
 	}
-	d := &Decima{factory: factory, defName: cfg.Default, tbl: newSessionTable(max, idle)}
+	d := &Decima{factory: factory, defName: cfg.Default, replicaID: cfg.ReplicaID}
+	d.tbl = newSessionTable(max, idle, &d.stats)
 	maxBatch := cfg.MaxBatch
 	if maxBatch == 0 {
 		maxBatch = DefaultMaxBatch
@@ -151,6 +163,10 @@ func (d *Decima) newScheduler(name string, seed int64) (scheduler.Scheduler, *sy
 // id. Sessions are bounded (LRU) and idle-swept; an evicted session's next
 // Event fails, telling the client to reopen.
 func (d *Decima) Open(req *OpenRequest, resp *OpenResponse) error {
+	if d.draining.Load() {
+		d.stats.OpensRejected.Add(1)
+		return fmt.Errorf("rpcsvc: replica %q: %w", d.replicaID, ErrReplicaDraining)
+	}
 	sched, decideMu, err := d.newScheduler(req.Scheduler, req.Seed)
 	if err != nil {
 		return err
@@ -158,6 +174,7 @@ func (d *Decima) Open(req *OpenRequest, resp *OpenResponse) error {
 	sess := &session{
 		sched:     sched,
 		decideMu:  decideMu,
+		stats:     &d.stats,
 		total:     req.TotalExecutors,
 		moveDelay: req.MoveDelay,
 		jobs:      make(map[int]*sim.JobState),
@@ -165,7 +182,9 @@ func (d *Decima) Open(req *OpenRequest, resp *OpenResponse) error {
 	}
 	sid, evicted := d.tbl.add(sess)
 	resetAll(evicted)
+	d.stats.Opens.Add(1)
 	resp.SID = sid
+	resp.Replica = d.replicaID
 	return nil
 }
 
@@ -179,8 +198,12 @@ func (d *Decima) Event(req *EventRequest, resp *EventResponse) error {
 	}
 	r, err := sess.event(req, d.batch)
 	if err != nil {
+		if IsSeqGap(err) {
+			d.stats.SeqGaps.Add(1)
+		}
 		return err
 	}
+	d.stats.Events.Add(1)
 	resp.ScheduleResponse = *r
 	return nil
 }
@@ -190,6 +213,7 @@ func (d *Decima) Event(req *EventRequest, resp *EventResponse) error {
 func (d *Decima) Close(req *CloseRequest, resp *CloseResponse) error {
 	if sess := d.tbl.remove(req.SID); sess != nil {
 		sess.reset()
+		d.stats.Closes.Add(1)
 	}
 	return nil
 }
@@ -211,6 +235,7 @@ func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
 	sess := &session{
 		sched:     sched,
 		decideMu:  decideMu,
+		stats:     &d.stats,
 		total:     req.TotalExecutors,
 		moveDelay: req.MoveDelay,
 		jobs:      make(map[int]*sim.JobState),
@@ -230,8 +255,29 @@ func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
 	if err != nil {
 		return err
 	}
+	d.stats.Stateless.Add(1)
 	*resp = *r
 	return nil
+}
+
+// SetDraining switches the service in or out of drain mode: while draining,
+// Open is rejected with ErrReplicaDraining and health reports report it, but
+// existing sessions keep serving so they can be migrated or closed cleanly.
+func (d *Decima) SetDraining(v bool) { d.draining.Store(v) }
+
+// Draining reports whether the service is refusing new sessions.
+func (d *Decima) Draining() bool { return d.draining.Load() }
+
+// ReplicaID returns the identity announced in Open replies.
+func (d *Decima) ReplicaID() string { return d.replicaID }
+
+// Stats snapshots the service's counters plus live session occupancy.
+func (d *Decima) Stats() StatsSnapshot {
+	s := d.stats.snapshot()
+	s.Sessions = d.tbl.len()
+	s.Draining = d.draining.Load()
+	s.Replica = d.replicaID
+	return s
 }
 
 // shimScheduler returns the scheduler backing the stateless endpoint: the
@@ -308,6 +354,13 @@ func listen(addr string, svc *Decima) (*Server, error) {
 // Sessions reports the number of live sessions (for tests and ops
 // introspection).
 func (s *Server) Sessions() int { return s.svc.tbl.len() }
+
+// Service returns the underlying RPC service object, through which ops
+// surfaces reach drain mode and the counter set.
+func (s *Server) Service() *Decima { return s.svc }
+
+// Stats snapshots the serving counters (see Decima.Stats).
+func (s *Server) Stats() StatsSnapshot { return s.svc.Stats() }
 
 // acceptLoop serves connections until the listener closes.
 func (s *Server) acceptLoop() {

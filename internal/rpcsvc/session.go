@@ -23,6 +23,8 @@ type session struct {
 	// decideMu, when non-nil, serialises Decide across sessions sharing one
 	// scheduler instance (the legacy single-scheduler server).
 	decideMu *sync.Mutex
+	// stats, when non-nil, receives per-decision latency observations.
+	stats *ServerStats
 
 	total     int
 	moveDelay float64
@@ -130,6 +132,7 @@ func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error
 		s.decideMu.Lock()
 		defer s.decideMu.Unlock()
 	}
+	start := time.Now()
 	if b != nil && s.decideMu == nil {
 		// Per-session agent instances may coalesce: the event keeps holding
 		// s.mu while parked, so nothing else touches this agent (or mirror)
@@ -137,6 +140,9 @@ func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error
 		// sequential decide below — same result.
 		if ag, ok := s.sched.(*core.Agent); ok {
 			if act, served := b.decide(ag, state); served {
+				if s.stats != nil {
+					s.stats.Decide.Observe(time.Since(start))
+				}
 				return ResponseFromAction(act), nil
 			}
 		}
@@ -144,6 +150,9 @@ func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error
 	act, err := s.sched.Decide(state)
 	if err != nil {
 		return nil, err
+	}
+	if s.stats != nil {
+		s.stats.Decide.Observe(time.Since(start))
 	}
 	return ResponseFromAction(act), nil
 }
@@ -209,26 +218,28 @@ func (s *session) reset() {
 // open/lookup. An evicted session's next Event fails with an unknown-session
 // error, telling the client to reopen.
 type sessionTable struct {
-	mu   sync.Mutex
-	max  int
-	idle time.Duration
-	next uint64
-	m    map[uint64]*session
-	lru  *list.List // front = most recently used; values are *session
-	elem map[uint64]*list.Element
-	now  func() time.Time     // test seam
-	used map[uint64]time.Time // last-use stamps for idle eviction
+	mu    sync.Mutex
+	max   int
+	idle  time.Duration
+	next  uint64
+	m     map[uint64]*session
+	lru   *list.List // front = most recently used; values are *session
+	elem  map[uint64]*list.Element
+	now   func() time.Time     // test seam
+	used  map[uint64]time.Time // last-use stamps for idle eviction
+	stats *ServerStats         // eviction counters by cause
 }
 
-func newSessionTable(max int, idle time.Duration) *sessionTable {
+func newSessionTable(max int, idle time.Duration, stats *ServerStats) *sessionTable {
 	return &sessionTable{
-		max:  max,
-		idle: idle,
-		m:    make(map[uint64]*session),
-		lru:  list.New(),
-		elem: make(map[uint64]*list.Element),
-		now:  time.Now,
-		used: make(map[uint64]time.Time),
+		max:   max,
+		idle:  idle,
+		m:     make(map[uint64]*session),
+		lru:   list.New(),
+		elem:  make(map[uint64]*list.Element),
+		now:   time.Now,
+		used:  make(map[uint64]time.Time),
+		stats: stats,
 	}
 }
 
@@ -251,6 +262,9 @@ func (t *sessionTable) add(s *session) (uint64, []*session) {
 			break
 		}
 		evicted = append(evicted, t.removeLocked(back.Value.(*session).id))
+		if t.stats != nil {
+			t.stats.EvictedLRU.Add(1)
+		}
 	}
 	return s.id, evicted
 }
@@ -305,6 +319,9 @@ func (t *sessionTable) sweepIdleLocked() []*session {
 		}
 		prev := e.Prev()
 		evicted = append(evicted, t.removeLocked(s.id))
+		if t.stats != nil {
+			t.stats.EvictedIdle.Add(1)
+		}
 		e = prev
 	}
 	return evicted

@@ -186,6 +186,11 @@ func TestSessionLRUEviction(t *testing.T) {
 	if got := srv.Sessions(); got != 2 {
 		t.Fatalf("session count after eviction = %d, want 2", got)
 	}
+	// The eviction is visible in the exported counters: one LRU eviction,
+	// no idle sweeps, occupancy matching the live count.
+	if st := srv.Stats(); st.EvictedLRU != 1 || st.EvictedIdle != 0 || st.Sessions != 2 || st.Opens != 3 {
+		t.Fatalf("stats after LRU eviction = %+v, want EvictedLRU=1 EvictedIdle=0 Sessions=2 Opens=3", st)
+	}
 	if _, err := s1.Event(mkState(1)); err == nil {
 		t.Fatal("evicted session still serves events")
 	}
@@ -371,6 +376,9 @@ func TestSessionIdleEviction(t *testing.T) {
 	}
 	if got := srv.Sessions(); got != 1 {
 		t.Fatalf("idle session not swept: %d live, want 1", got)
+	}
+	if st := srv.Stats(); st.EvictedIdle < 1 || st.EvictedLRU != 0 {
+		t.Fatalf("stats after idle sweep = %+v, want EvictedIdle>=1 EvictedLRU=0", st)
 	}
 	js := jobStateFromInfo(&JobInfo{ID: 1, Stages: []StageInfo{{ID: 0, NumTasks: 1, TaskDuration: 1, CPUReq: 1}}})
 	st := &sim.State{Jobs: []*sim.JobState{js}, FreeExecutors: []*sim.Executor{{ID: 0, Mem: 1}}, TotalExecutors: 2}
