@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-robustness smoke-server smoke-restart smoke-fleet fmt vet docs-check
+.PHONY: all build test race bench bench-json bench-robustness smoke-server smoke-restart smoke-fleet smoke-chaos fmt vet docs-check
 
 all: build vet fmt docs-check test
 
@@ -47,6 +47,10 @@ docs-check:
 # BENCH_fleet.json: aggregate serving throughput through the
 # session-sharding router at 1/2/4 replicas ("events/sec"), with the
 # "migrations" metric pinning the steady state at zero; see docs/FLEET.md.
+# BENCH_overload.json: the offered-load sweep past the admission bound —
+# "served/sec", "shed_frac" and "p99_ms" per load level; the bar is shed_frac
+# climbing past capacity while p99_ms stays bounded (load is refused at the
+# gate, never queued into a latency collapse); see docs/ROBUSTNESS.md.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferenceDecision' -benchtime=200x ./internal/core/ > bench-core.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig9a$$' -benchtime=1x . > bench-fig9a.out
@@ -59,8 +63,10 @@ bench-json:
 	cat bench-kernels.out | $(GO) run ./cmd/benchjson > BENCH_kernels.json
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput' -benchtime=2x ./internal/fleet/ > bench-fleet.out
 	cat bench-fleet.out | $(GO) run ./cmd/benchjson > BENCH_fleet.json
-	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out bench-fleet.out
-	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json BENCH_fleet.json
+	$(GO) test -run '^$$' -bench 'BenchmarkOverload' -benchtime=200x ./internal/rpcsvc/ > bench-overload.out
+	cat bench-overload.out | $(GO) run ./cmd/benchjson > BENCH_overload.json
+	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out bench-fleet.out bench-overload.out
+	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json BENCH_fleet.json BENCH_overload.json
 
 # BENCH_robustness.json: the failure-regime matrix (CI `robustness` job).
 # First the fast lossy-regime gate the job is named for (decima trained
@@ -92,6 +98,15 @@ smoke-fleet:
 	$(GO) build -o bin/decima-server ./cmd/decima-server
 	$(GO) build -o bin/decima-fleet ./cmd/decima-fleet
 	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -fleet-bin bin/decima-fleet -fleet
+
+# Chaos smoke: the serving process runs with a tight admission bound while
+# noise sessions saturate it, and the observed session rides a fault-injected
+# transport (deterministic chaos: latency + resets). The run must see real
+# overload sheds and transient faults, heal every one, and finish with a
+# schedule identical to an undisturbed reference run (docs/ROBUSTNESS.md).
+smoke-chaos:
+	$(GO) build -o bin/decima-server ./cmd/decima-server
+	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -chaos
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -51,6 +51,8 @@ func main() {
 		healthIvl   = flag.Duration("health-interval", fleet.DefaultHealthInterval, "active health probe period (<0 disables)")
 		downAfter   = flag.Int("down-after", fleet.DefaultDownAfter, "consecutive failures before a replica is down")
 		upAfter     = flag.Int("up-after", fleet.DefaultUpAfter, "consecutive probe successes before a down replica returns")
+		brkThresh   = flag.Int("breaker-threshold", fleet.DefaultBreakerThreshold, "consecutive forward failures/overloads that open a replica's circuit breaker (<0 disables)")
+		brkCooldown = flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "open breaker cooldown before the half-open trial")
 		drainID     = flag.String("drain", "", "admin mode: drain this replica id via the running router's -metrics-addr, then exit")
 	)
 	flag.Parse()
@@ -62,11 +64,13 @@ func main() {
 	}
 
 	rt := fleet.New(fleet.Config{
-		Vnodes:         *vnodes,
-		HealthInterval: *healthIvl,
-		DownAfter:      *downAfter,
-		UpAfter:        *upAfter,
-		Logger:         logger,
+		Vnodes:           *vnodes,
+		HealthInterval:   *healthIvl,
+		DownAfter:        *downAfter,
+		UpAfter:          *upAfter,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		Logger:           logger,
 	})
 
 	// Spawned children are decima-server replicas on ephemeral ports with

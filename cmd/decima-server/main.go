@@ -63,6 +63,7 @@ func main() {
 		replicaID    = flag.String("replica-id", "", "fleet replica identity announced in Open replies and metrics (empty for standalone)")
 		httpAddr     = flag.String("http", "", "ops HTTP address serving /healthz and /metrics (empty disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for sessions to leave after SIGTERM before exiting anyway")
+		maxInflight  = flag.Int("max-inflight", 0, "admission bound on in-flight events; beyond it requests are shed with the typed overloaded error (0 = unbounded)")
 	)
 	flag.Parse()
 	nn.SetInference32(*f32)
@@ -92,6 +93,7 @@ func main() {
 		IdleTimeout: *idleTimeout,
 		MaxBatch:    *maxBatch,
 		BatchWindow: *batchWindow,
+		MaxInflight: *maxInflight,
 		ReplicaID:   *replicaID,
 		New: func(name string, sessSeed int64) (scheduler.Scheduler, error) {
 			if sessSeed == 0 {

@@ -18,9 +18,19 @@
 // thirds; the healed schedule must be identical to a single-server
 // reference, and the fleet /metrics exposition must show the migrations.
 //
+// With -chaos it exercises the overload-control plane under deterministic
+// fault injection: the identical workload runs once uninterrupted and once
+// against a server with a tiny admission bound (-max-inflight), background
+// noise sessions saturating it, and the client's transport wrapped by
+// internal/chaos (seeded latency + connection resets). The session must
+// ride out both the injected transport faults and the typed overload sheds
+// — jittered backoff, no reopen on shed — and produce the bitwise-identical
+// reference schedule.
+//
 //	go build -o bin/decima-server ./cmd/decima-server
 //	go run ./cmd/decima-smoke -bin bin/decima-server -events 100
 //	go run ./cmd/decima-smoke -bin bin/decima-server -restart
+//	go run ./cmd/decima-smoke -bin bin/decima-server -chaos
 //	go build -o bin/decima-fleet ./cmd/decima-fleet
 //	go run ./cmd/decima-smoke -bin bin/decima-server -fleet-bin bin/decima-fleet -fleet
 package main
@@ -40,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/rpcsvc"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -51,6 +62,7 @@ func main() {
 		events    = flag.Int("events", 100, "minimum number of scheduling events to drive")
 		executors = flag.Int("executors", 8, "simulated cluster size")
 		restart   = flag.Bool("restart", false, "kill and restart the server mid-session; assert the client self-heals with an identical schedule")
+		chaosRun  = flag.Bool("chaos", false, "run the overload+fault-injection scenario: tiny admission bound, noise sessions, seeded transport chaos; assert the healed schedule matches the reference")
 		fleetRun  = flag.Bool("fleet", false, "run the sharded-fleet scenario: router + 3 replica processes, SIGKILL one and drain another mid-session")
 		fleetBin  = flag.String("fleet-bin", "bin/decima-fleet", "path to the decima-fleet binary (with -fleet)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "overall deadline")
@@ -64,6 +76,10 @@ func main() {
 
 	if *restart {
 		restartScenario(*bin, *executors)
+		return
+	}
+	if *chaosRun {
+		chaosScenario(*bin, *executors)
 		return
 	}
 	if *fleetRun {
@@ -111,8 +127,9 @@ func main() {
 // launchServer starts a decima-server process on addr ("host:0" picks a
 // port), waits for its "listening on" banner, keeps draining its output in
 // the background, and returns the process and the bound address.
-func launchServer(bin, addr string, executors int) (*exec.Cmd, string) {
-	cmd := exec.Command(bin, "-addr", addr, "-executors", fmt.Sprint(executors))
+func launchServer(bin, addr string, executors int, extra ...string) (*exec.Cmd, string) {
+	args := append([]string{"-addr", addr, "-executors", fmt.Sprint(executors)}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		log.Fatalf("smoke: stdout pipe: %v", err)
@@ -234,6 +251,127 @@ func restartScenario(bin string, executors int) {
 	}
 	fmt.Printf("SMOKE OK: server killed at event %d/%d, session healed with an identical schedule (%d transient errors ridden out)\n",
 		killAt, ref.Invocations, errs)
+}
+
+// chaosScenario runs the overload + fault-injection check. The reference:
+// one seeded workload against a plain server. The noisy run: the identical
+// workload against a server with -max-inflight 2, while background noise
+// sessions keep the admission gate saturated and the main client's
+// transport is wrapped by a seeded chaos injector (added latency plus
+// occasional connection resets). The client must absorb both weathers —
+// typed overload sheds answered with jittered backoff on the intact
+// session, transport faults with redial + reopen — and still produce the
+// bitwise-identical schedule: sheds happen before the server mirror
+// mutates, so a retried event decides exactly as an unimpeded one.
+func chaosScenario(bin string, executors int) {
+	const seed = 1
+
+	// Reference: uninterrupted, no admission bound, clean transport.
+	refCmd, refAddr := launchServer(bin, "127.0.0.1:0", executors)
+	refCli, err := rpcsvc.Dial(refAddr)
+	if err != nil {
+		log.Fatalf("smoke: dial %s: %v", refAddr, err)
+	}
+	refSS := &rpcsvc.SessionScheduler{Client: refCli, Seed: seed}
+	jobs := workload.Batch(rand.New(rand.NewSource(seed)), 6)
+	ref := sim.New(sim.SparkDefaults(executors), jobs, refSS, rand.New(rand.NewSource(seed))).Run()
+	if ref.Deadlock || ref.Unfinished != 0 {
+		log.Fatalf("smoke: reference run failed: unfinished=%d deadlock=%v", ref.Unfinished, ref.Deadlock)
+	}
+	if err := refSS.Close(); err != nil {
+		log.Fatalf("smoke: close reference session: %v", err)
+	}
+	refCli.Close()
+	refCmd.Process.Signal(os.Interrupt)
+	refCmd.Wait()
+	fmt.Printf("smoke: reference run ok, %d events\n", ref.Invocations)
+
+	// Noisy run: a saturated server behind an injected transport.
+	cmd, addr := launchServer(bin, "127.0.0.1:0", executors, "-max-inflight", "2")
+	defer cmd.Process.Kill()
+
+	// Noise pumps: background sessions on clean transports, hammering the
+	// two admission slots so the main session keeps getting shed. They run
+	// the server's default (decima) policy — each pump event holds its slot
+	// for a whole inference forward, which is what makes collisions with
+	// the main session's events frequent rather than razor-thin.
+	stop := make(chan struct{})
+	pumps := 6
+	pumpDone := make(chan struct{}, pumps)
+	for p := 0; p < pumps; p++ {
+		go func(p int) {
+			defer func() { pumpDone <- struct{}{} }()
+			cli, err := rpcsvc.Dial(addr)
+			if err != nil {
+				log.Fatalf("smoke: dial pump %d: %v", p, err)
+			}
+			defer cli.Close()
+			for round := int64(1); ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ss := &rpcsvc.SessionScheduler{
+					Client: cli, Seed: int64(p)*1000 + round,
+					MaxRetries: 50, Backoff: 2 * time.Millisecond,
+				}
+				pj := workload.Batch(rand.New(rand.NewSource(round)), 2)
+				sim.New(sim.SparkDefaults(executors), pj, ss, rand.New(rand.NewSource(round))).Run()
+				ss.Close()
+			}
+		}(p)
+	}
+
+	inj := chaos.New(chaos.Config{
+		Seed:      seed,
+		Latency:   2 * time.Millisecond,
+		ResetProb: 0.01,
+	})
+	cli, err := rpcsvc.DialWith(addr, inj.Dialer())
+	if err != nil {
+		log.Fatalf("smoke: chaos dial %s: %v", addr, err)
+	}
+	defer cli.Close()
+
+	errs := 0
+	ss := &rpcsvc.SessionScheduler{
+		Client: cli, Seed: seed,
+		MaxRetries: 40, Backoff: 5 * time.Millisecond,
+		MaxElapsed: 30 * time.Second,
+		Deadline:   5 * time.Second,
+		OnError:    func(error) { errs++ },
+	}
+	res := sim.New(sim.SparkDefaults(executors), workload.Batch(rand.New(rand.NewSource(seed)), 6), ss, rand.New(rand.NewSource(seed))).Run()
+	close(stop)
+	for p := 0; p < pumps; p++ {
+		<-pumpDone
+	}
+	if res.Deadlock || res.Unfinished != 0 {
+		log.Fatalf("smoke: chaos run failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+	}
+	if ss.Degraded() {
+		log.Fatal("smoke: client fell back to degraded mode instead of healing")
+	}
+	cs := ss.Stats()
+	if errs == 0 || cs.Overloaded < 1 {
+		log.Fatalf("smoke: weather never reached the client (errors=%d, stats %+v): overload sheds were expected", errs, cs)
+	}
+	if got, want := fingerprint(res), fingerprint(ref); got != want {
+		log.Fatalf("smoke: chaos run diverged from reference:\n  chaos     %s\n  reference %s", got, want)
+	}
+	if err := ss.Close(); err != nil {
+		log.Fatalf("smoke: close chaos session: %v", err)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		log.Fatalf("smoke: signal server: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("smoke: server did not shut down cleanly: %v", err)
+	}
+	fmt.Printf("SMOKE OK: chaos run healed to the reference schedule (%d errors ridden out: %d overload sheds, %d transient faults, %d reopens)\n",
+		errs, cs.Overloaded, cs.Transient, cs.Reopens)
 }
 
 // launchFleet starts a decima-fleet router that spawns three replica

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateEncoding pins the numeric state codes: they are the
+// fleet_breaker_state gauge's wire values (docs/ROBUSTNESS.md) and must
+// never be renumbered.
+func TestBreakerStateEncoding(t *testing.T) {
+	if breakerClosed != 0 || breakerOpen != 1 || breakerHalfOpen != 2 {
+		t.Fatalf("breaker state codes moved: closed=%d open=%d half-open=%d, want 0/1/2",
+			breakerClosed, breakerOpen, breakerHalfOpen)
+	}
+	for st, want := range map[breakerState]string{
+		breakerClosed:   "closed",
+		breakerOpen:     "open",
+		breakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("state %d String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+// TestBreakerLifecycle walks the whole state machine on an injected clock:
+// trip at the threshold, refuse while open, lazy half-open after the
+// cooldown, single probe slot, probe failure reopening, probe success
+// closing, and recordOK clearing a partial failure streak.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() || !b.ready() {
+		t.Fatal("fresh breaker refused a request")
+	}
+	if b.recordFail() || b.recordFail() {
+		t.Fatal("breaker tripped below the threshold")
+	}
+	if st := b.current(); st != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", st)
+	}
+	if !b.recordFail() {
+		t.Fatal("threshold failure did not report the trip")
+	}
+	if st := b.current(); st != breakerOpen {
+		t.Fatalf("state after trip = %v, want open", st)
+	}
+	if b.allow() || b.ready() {
+		t.Fatal("open breaker passed a request")
+	}
+
+	// One tick short of the cooldown: still open.
+	now = now.Add(time.Second - time.Nanosecond)
+	if b.allow() {
+		t.Fatal("breaker went half-open before the cooldown elapsed")
+	}
+	now = now.Add(time.Nanosecond)
+	if st := b.current(); st != breakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open (lazy transition)", st)
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the trial request")
+	}
+	if b.allow() || b.ready() {
+		t.Fatal("half-open breaker passed a second request while probing")
+	}
+
+	// Probe failure: straight back to open, cooldown restarted.
+	if !b.recordFail() {
+		t.Fatal("failed probe did not report the reopen")
+	}
+	if b.allow() {
+		t.Fatal("reopened breaker passed a request")
+	}
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second half-open refused its trial")
+	}
+	b.recordOK()
+	if st := b.current(); st != breakerClosed || !b.ready() {
+		t.Fatalf("state after successful probe = %v ready=%v, want closed/true", st, b.ready())
+	}
+
+	// A success wipes a partial streak: 2 fails + OK + 2 fails stays closed.
+	b.recordFail()
+	b.recordFail()
+	b.recordOK()
+	b.recordFail()
+	b.recordFail()
+	if st := b.current(); st != breakerClosed {
+		t.Fatalf("failure streak survived recordOK: state %v", st)
+	}
+}

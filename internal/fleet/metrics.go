@@ -15,6 +15,9 @@ type ReplicaInfo struct {
 	PID      int    `json:"pid,omitempty"`
 	Up       bool   `json:"up"`
 	Draining bool   `json:"draining"`
+	// Breaker is the replica's circuit-breaker state: "closed", "open" or
+	// "half-open" ("" when circuit breaking is disabled).
+	Breaker  string `json:"breaker,omitempty"`
 	Sessions int    `json:"sessions"`
 	Events   uint64 `json:"events"`
 }
@@ -39,6 +42,10 @@ func (rt *Router) Info() Info {
 		rep.mu.Lock()
 		up, draining := rep.up, rep.draining
 		rep.mu.Unlock()
+		brk := ""
+		if rep.brk != nil {
+			brk = rep.brk.current().String()
+		}
 		info.Replicas = append(info.Replicas, ReplicaInfo{
 			ID:       rep.id,
 			Addr:     rep.addr,
@@ -46,6 +53,7 @@ func (rt *Router) Info() Info {
 			PID:      rep.pid,
 			Up:       up,
 			Draining: draining,
+			Breaker:  brk,
 			Sessions: rt.sessionsOn(rep.id),
 			Events:   rep.events.Load(),
 		})
@@ -87,6 +95,21 @@ func (rt *Router) WriteProm(w io.Writer) {
 	gauges("fleet_replica_draining", func(ri ReplicaInfo) float64 { return b2f(ri.Draining) })
 	gauges("fleet_replica_sessions", func(ri ReplicaInfo) float64 { return float64(ri.Sessions) })
 
+	// Breaker state per replica: 0 closed, 1 open, 2 half-open (omitted
+	// entirely when circuit breaking is disabled).
+	wrote := false
+	for _, ri := range info.Replicas {
+		rep := rt.replica(ri.ID)
+		if rep == nil || rep.brk == nil {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(w, "# TYPE fleet_breaker_state gauge\n")
+			wrote = true
+		}
+		fmt.Fprintf(w, "fleet_breaker_state{replica=%q} %d\n", ri.ID, int(rep.brk.current()))
+	}
+
 	fmt.Fprintf(w, "# TYPE fleet_replica_events_total counter\n")
 	for _, ri := range info.Replicas {
 		fmt.Fprintf(w, "fleet_replica_events_total{replica=%q} %d\n", ri.ID, ri.Events)
@@ -122,6 +145,7 @@ func (rt *Router) WriteProm(w io.Writer) {
 	counter("fleet_events_total", rt.stats.events.Load())
 	counter("fleet_closes_total", rt.stats.closes.Load())
 	counter("fleet_unroutable_total", rt.stats.noReplica.Load())
+	counter("fleet_shed_total", rt.stats.shed.Load())
 	counter("fleet_wrong_shard_total", rt.stats.wrongShard.Load())
 	counter("fleet_unknown_session_total", rt.stats.unknown.Load())
 	fmt.Fprintf(w, "# TYPE fleet_migrations_total counter\n")

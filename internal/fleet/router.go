@@ -17,6 +17,12 @@ const (
 	DefaultHealthInterval = 2 * time.Second
 	DefaultDownAfter      = 2
 	DefaultUpAfter        = 2
+	// DefaultBreakerThreshold trips a replica's circuit breaker after this
+	// many consecutive forward failures or overload answers.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long an open breaker refuses before
+	// letting one half-open trial request through.
+	DefaultBreakerCooldown = 2 * time.Second
 )
 
 // Config parameterises a Router.
@@ -34,6 +40,13 @@ type Config struct {
 	// the package constants; the asymmetric pair is the hysteresis that
 	// keeps a flapping replica from thrashing session placement.
 	DownAfter, UpAfter int
+	// BreakerThreshold is the consecutive forward-failure/overload streak
+	// that opens a replica's circuit breaker (0 selects
+	// DefaultBreakerThreshold; negative disables circuit breaking).
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay (0 selects
+	// DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
 	// Probe overrides the health probe (nil selects DefaultProbe).
 	Probe ProbeFunc
 	// Logger receives structured lifecycle events (nil selects
@@ -48,6 +61,8 @@ type replica struct {
 	id, addr, opsAddr string
 	pid               int
 	cli               *rpcsvc.Client
+	// brk is the replica's circuit breaker; nil when breaking is disabled.
+	brk *breaker
 
 	mu         sync.Mutex
 	up         bool
@@ -69,6 +84,26 @@ func (rep *replica) routable() bool {
 	return rep.up && !rep.draining
 }
 
+// breakerReady reports whether the replica's breaker would pass a request
+// (trivially true with breaking disabled). Non-consuming — safe in
+// placement predicates.
+func (rep *replica) breakerReady() bool {
+	return rep.brk == nil || rep.brk.ready()
+}
+
+// forwardOK/forwardFail report one forward outcome to the breaker.
+func (rep *replica) forwardOK() {
+	if rep.brk != nil {
+		rep.brk.recordOK()
+	}
+}
+
+func (rt *Router) forwardFail(rep *replica, cause string) {
+	if rep.brk != nil && rep.brk.recordFail() {
+		rt.log.Warn("fleet: breaker open", "replica", rep.id, "cause", cause)
+	}
+}
+
 // route maps one fleet session id to its backend placement.
 type route struct {
 	key        string
@@ -82,6 +117,9 @@ type routerStats struct {
 	noReplica                           atomic.Uint64
 	wrongShard, unknown                 atomic.Uint64
 	migrationsDrain, migrationsFailover atomic.Uint64
+	// shed counts events the router refused locally because the target
+	// replica's breaker was open (fleet_shed_total).
+	shed atomic.Uint64
 }
 
 // Router owns the replica set, the consistent-hash ring and the fleet
@@ -127,6 +165,12 @@ func New(cfg Config) *Router {
 	if cfg.UpAfter <= 0 {
 		cfg.UpAfter = DefaultUpAfter
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if cfg.Probe == nil {
 		cfg.Probe = DefaultProbe
 	}
@@ -162,6 +206,9 @@ func (rt *Router) AddReplica(id, addr, opsAddr string, pid int) error {
 		return fmt.Errorf("fleet: dial replica %q at %s: %w", id, addr, err)
 	}
 	rep := &replica{id: id, addr: addr, opsAddr: opsAddr, pid: pid, cli: cli, up: true}
+	if rt.cfg.BreakerThreshold > 0 {
+		rep.brk = newBreaker(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+	}
 	rt.mu.Lock()
 	if rt.replicas[id] != nil {
 		rt.mu.Unlock()
@@ -306,8 +353,8 @@ func (rt *Router) markProbeOK(rep *replica) {
 }
 
 // open places a session: the key's ring owner first, then deterministic
-// successors, skipping replicas that are down or draining and demoting the
-// ones that fail on contact.
+// successors, skipping replicas that are down, draining or circuit-broken
+// and demoting the ones that fail on contact.
 func (rt *Router) open(req *rpcsvc.OpenRequest, resp *rpcsvc.OpenResponse) error {
 	key := req.Key
 	if key == "" {
@@ -323,7 +370,7 @@ func (rt *Router) open(req *rpcsvc.OpenRequest, resp *rpcsvc.OpenResponse) error
 				return false
 			}
 			rep := rt.replica(id)
-			return rep != nil && rep.routable()
+			return rep != nil && rep.routable() && rep.breakerReady()
 		})
 		if id == "" {
 			break
@@ -335,6 +382,7 @@ func (rt *Router) open(req *rpcsvc.OpenRequest, resp *rpcsvc.OpenResponse) error
 		}
 		bresp, err := rep.cli.OpenRPC(&fwd)
 		if err == nil {
+			rep.forwardOK()
 			rt.mu.Lock()
 			rt.nextSID++
 			sid := rt.nextSID
@@ -354,8 +402,13 @@ func (rt *Router) open(req *rpcsvc.OpenRequest, resp *rpcsvc.OpenResponse) error
 			// The replica began draining on its own (SIGTERM); honour it
 			// before the health loop notices.
 			rt.DrainReplica(id)
+		case rpcsvc.IsOverloaded(err):
+			// The replica is alive but refusing work; count it against the
+			// breaker and walk to the key's next successor.
+			rt.forwardFail(rep, "open overloaded")
 		case rpcsvc.IsTransient(err):
 			rt.markFailed(rep, "open forward")
+			rt.forwardFail(rep, "open transport")
 		default:
 			// Fatal application error (unknown scheduler name, …): another
 			// replica would answer identically. Forward verbatim.
@@ -391,11 +444,21 @@ func (rt *Router) event(req *rpcsvc.EventRequest, resp *rpcsvc.EventResponse) er
 		rt.dropRoute(req.SID)
 		return fmt.Errorf("fleet: session %d lost replica %q: %w", req.SID, r.replicaID, rpcsvc.ErrSessionEvicted)
 	}
+	if rep.brk != nil && !rep.brk.allow() {
+		// The breaker is open: shed locally without spending a forward on a
+		// replica that keeps failing or refusing. The session client backs
+		// off with jitter and retries the identical event — the session is
+		// untouched, so nothing reopens — and a retry arriving after the
+		// cooldown becomes the half-open trial.
+		rt.stats.shed.Add(1)
+		return fmt.Errorf("fleet: replica %q circuit open, event shed: %w", r.replicaID, rpcsvc.ErrOverloaded)
+	}
 	fwd := *req
 	fwd.SID = r.backendSID
 	start := time.Now()
 	bresp, err := rep.cli.EventRPC(&fwd)
 	if err == nil {
+		rep.forwardOK()
 		rep.forward.Observe(time.Since(start))
 		rep.events.Add(1)
 		rt.stats.events.Add(1)
@@ -407,11 +470,22 @@ func (rt *Router) event(req *rpcsvc.EventRequest, resp *rpcsvc.EventResponse) er
 		// answer eviction — the client reopens from its snapshot and the
 		// reopen re-routes around the dead replica.
 		rt.markFailed(rep, "event forward")
+		rt.forwardFail(rep, "event transport")
 		if rt.dropRoute(req.SID) {
 			rt.stats.migrationsFailover.Add(1)
 		}
 		return fmt.Errorf("fleet: replica %q unreachable, session %d failing over: %w", r.replicaID, req.SID, rpcsvc.ErrSessionEvicted)
 	}
+	if rpcsvc.IsOverloaded(err) {
+		// The replica shed the event itself: the transport is healthy but
+		// the replica is saturated. Count it against the breaker and forward
+		// the answer verbatim — the client's overloaded rung backs off.
+		rt.forwardFail(rep, "event overloaded")
+		return err
+	}
+	// Any other application answer means the replica is serving; feed the
+	// breaker a success so eviction/seq-gap storms cannot open it.
+	rep.forwardOK()
 	if rpcsvc.IsSessionEvicted(err) || rpcsvc.IsSeqGap(err) {
 		// The backend lost (or will never accept) this stream; the fleet
 		// route is dead too. The client reopens under a fresh id either way.
@@ -456,22 +530,31 @@ func (rt *Router) schedule(req *rpcsvc.ScheduleRequest, resp *rpcsvc.ScheduleRes
 	var lastErr error
 	for i := 0; i < len(ids); i++ {
 		rep := rt.replica(ids[(n+i)%len(ids)])
-		if rep == nil || !rep.routable() {
+		if rep == nil || !rep.routable() || !rep.breakerReady() {
 			continue
 		}
 		start := time.Now()
 		bresp, err := rep.cli.Schedule(req)
 		if err == nil {
+			rep.forwardOK()
 			rep.forward.Observe(time.Since(start))
 			rep.events.Add(1)
 			rt.stats.events.Add(1)
 			*resp = *bresp
 			return nil
 		}
+		if rpcsvc.IsOverloaded(err) {
+			// Stateless requests are replica-agnostic: count the overload
+			// against this replica's breaker and try the next one.
+			rt.forwardFail(rep, "schedule overloaded")
+			lastErr = err
+			continue
+		}
 		if !rpcsvc.IsTransient(err) {
 			return err
 		}
 		rt.markFailed(rep, "schedule forward")
+		rt.forwardFail(rep, "schedule transport")
 		lastErr = err
 	}
 	rt.stats.noReplica.Add(1)

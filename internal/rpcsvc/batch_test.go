@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scheduler"
@@ -187,7 +188,7 @@ func TestServerCloseWithParkedEvents(t *testing.T) {
 	wg.Wait()
 
 	// The stopped dispatcher must refuse politely, not deadlock.
-	if _, served := srv.svc.batch.decide(nil, nil); served {
+	if _, served := srv.svc.batch.decide(nil, nil, time.Time{}); served {
 		t.Fatal("stopped batcher served a request")
 	}
 }
@@ -204,7 +205,7 @@ func TestBatcherDrainOnClose(t *testing.T) {
 	var mu sync.Mutex
 	acted := 0
 	probe := sim.SchedulerFunc(func(s *sim.State) *sim.Action {
-		act, ok := b.decide(base, s)
+		act, ok := b.decide(base, s, time.Time{})
 		if !ok {
 			act = base.Schedule(s) // post-close fallback, as session.event does
 		} else {
@@ -223,7 +224,7 @@ func TestBatcherDrainOnClose(t *testing.T) {
 	}
 	b.close()
 	b.close() // idempotent
-	if _, ok := b.decide(base, nil); ok {
+	if _, ok := b.decide(base, nil, time.Time{}); ok {
 		t.Fatal("closed batcher accepted a request")
 	}
 	if st := b.snapshot(); st.events != uint64(acted) {

@@ -45,6 +45,11 @@ type batchCall struct {
 	item core.BatchItem
 	done chan struct{}
 	act  *sim.Action
+	// deadline, when non-zero, is the caller's overload budget. The batcher
+	// never sheds a parked call (its session mirror already mutated — only
+	// pre-mutation sheds are retryable), but the straggler window must not
+	// sleep a batch past any member's deadline.
+	deadline time.Time
 }
 
 // batchStats counts dispatcher activity (dispatcher-goroutine writes only).
@@ -94,8 +99,8 @@ func newBatcher(window time.Duration, max int) *batcher {
 // decide parks one request until the dispatcher serves it. ok is false when
 // the batcher is shut down — the caller then decides inline on the
 // sequential path (identical result).
-func (b *batcher) decide(a *core.Agent, st *sim.State) (act *sim.Action, ok bool) {
-	c := &batchCall{item: core.BatchItem{Agent: a, State: st}, done: make(chan struct{})}
+func (b *batcher) decide(a *core.Agent, st *sim.State, deadline time.Time) (act *sim.Action, ok bool) {
+	c := &batchCall{item: core.BatchItem{Agent: a, State: st}, done: make(chan struct{}), deadline: deadline}
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -163,9 +168,10 @@ func (b *batcher) loop() {
 			if len(batch) == 0 {
 				break
 			}
-			if b.window > 0 && len(batch) > 1 && len(batch) < b.max {
+			if b.window > 0 && len(batch) > 1 && len(batch) < b.max && !wouldExpire(batch, b.window) {
 				// Evidence of concurrency but an unfilled batch: wait once for
-				// stragglers. A lone request never sleeps.
+				// stragglers. A lone request never sleeps, and a batch holding
+				// any deadline the window would overrun drains immediately.
 				time.Sleep(b.window)
 				batch = b.take(batch, b.max-len(batch))
 			}
@@ -173,6 +179,18 @@ func (b *batcher) loop() {
 			b.run(batch)
 		}
 	}
+}
+
+// wouldExpire reports whether sleeping for window would push any member of
+// the batch past its deadline budget.
+func wouldExpire(batch []*batchCall, window time.Duration) bool {
+	limit := time.Now().Add(window)
+	for _, c := range batch {
+		if !c.deadline.IsZero() && c.deadline.Before(limit) {
+			return true
+		}
+	}
+	return false
 }
 
 // run decides one drained batch and releases its callers. The item buffer

@@ -1,10 +1,13 @@
 package rpcsvc
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scheduler"
@@ -165,3 +168,99 @@ func BenchmarkServeSessionConcurrent(b *testing.B) { benchServeConcurrent(b, 0) 
 // dispatcher disabled — the pre-batching serving path, for the before/after
 // comparison in BENCH_serving.json.
 func BenchmarkServeSessionConcurrentUnbatched(b *testing.B) { benchServeConcurrent(b, 1) }
+
+// BenchmarkOverload sweeps offered load past a deliberately small admission
+// bound and reports what the overload plane actually buys: "served/sec"
+// (goodput), "shed_frac" (the fraction of offered events shed at the gate)
+// and "p99_ms" (99th-percentile latency of the events that were served).
+// The acceptance shape in BENCH_overload.json: as offered load crosses
+// capacity, shed_frac climbs but p99_ms stays bounded near the decide cost —
+// queueing is refused, not absorbed, so the events the server does accept
+// never see a collapsed tail.
+func BenchmarkOverload(b *testing.B) {
+	for _, workers := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("offered=%d", workers), func(b *testing.B) { benchOverload(b, workers) })
+	}
+}
+
+func benchOverload(b *testing.B, workers int) {
+	const (
+		maxInflight = 4
+		decideCost  = 500 * time.Microsecond
+	)
+	srv, err := ListenAndServeSessions("127.0.0.1:0", SessionConfig{
+		Default:     "slow",
+		MaxInflight: maxInflight,
+		MaxBatch:    1,
+		IdleTimeout: -1,
+		New: func(name string, seed int64) (scheduler.Scheduler, error) {
+			// A fixed-cost decision: capacity is maxInflight/decideCost, so
+			// the sweep's worker counts land below and far above it.
+			return scheduler.Func(func(s *sim.State) (*sim.Action, error) {
+				time.Sleep(decideCost)
+				return nil, nil
+			}), nil
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Sessions open before the clock starts: opens contend with the same
+	// admission gate, and a shed open would be setup noise, not signal.
+	sessions := make([]*Session, workers)
+	states := make([]*sim.State, workers)
+	for w := range sessions {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		if sessions[w], err = cli.OpenSession(&OpenRequest{TotalExecutors: 2}); err != nil {
+			b.Fatal(err)
+		}
+		states[w] = overloadState(2)
+	}
+
+	var served, shed atomic.Int64
+	lats := make([][]time.Duration, workers)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				_, err := sessions[w].Event(states[w])
+				switch {
+				case err == nil:
+					served.Add(1)
+					lats[w] = append(lats[w], time.Since(t0))
+				case IsOverloaded(err):
+					shed.Add(1) // offered-load model: the event is dropped, not retried
+				default:
+					b.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	offered := served.Load() + shed.Load()
+	if offered > 0 {
+		b.ReportMetric(float64(shed.Load())/float64(offered), "shed_frac")
+	}
+	if n := served.Load(); n > 0 {
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "served/sec")
+		b.ReportMetric(float64(all[len(all)*99/100])/1e6, "p99_ms")
+	}
+}

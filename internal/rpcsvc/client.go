@@ -2,6 +2,9 @@ package rpcsvc
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"net"
 	"net/rpc"
 	"sync"
 	"time"
@@ -16,6 +19,10 @@ import (
 // stays valid across server restarts.
 type Client struct {
 	addr string
+	// dial, when non-nil, replaces net.Dial for the initial connection and
+	// every redial — the seam the chaos harness injects its fault-wrapping
+	// dialer through (see DialWith).
+	dial func(addr string) (net.Conn, error)
 
 	mu  sync.Mutex
 	rpc *rpc.Client
@@ -29,6 +36,17 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return &Client{addr: addr, rpc: c}, nil
+}
+
+// DialWith connects like Dial but through a custom dialer, which also
+// services every subsequent Redial. The chaos harness uses it to interpose
+// fault-injecting connections without the client knowing.
+func DialWith(addr string, dial func(addr string) (net.Conn, error)) (*Client, error) {
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{addr: addr, dial: dial, rpc: rpc.NewClient(conn)}, nil
 }
 
 // conn returns the current transport and its generation.
@@ -69,9 +87,19 @@ func (c *Client) redialFrom(gen uint64) error {
 	if c.addr == "" {
 		return errors.New("rpcsvc: client has no dial address")
 	}
-	nc, err := rpc.Dial("tcp", c.addr)
-	if err != nil {
-		return err
+	var nc *rpc.Client
+	if c.dial != nil {
+		conn, err := c.dial(c.addr)
+		if err != nil {
+			return err
+		}
+		nc = rpc.NewClient(conn)
+	} else {
+		var err error
+		nc, err = rpc.Dial("tcp", c.addr)
+		if err != nil {
+			return err
+		}
 	}
 	c.rpc.Close()
 	c.rpc = nc
@@ -157,6 +185,11 @@ type Session struct {
 	seq     uint64
 	total   int // last executor count the server acknowledged
 	shadow  map[int]*shadowJob
+
+	// Deadline, when positive, is attached to every Event as the server-side
+	// overload budget (EventRequest.Deadline). Zero sends the pre-overload
+	// wire form.
+	Deadline time.Duration
 }
 
 // SID returns the server-assigned session id.
@@ -194,6 +227,7 @@ func (s *Session) delta(st *sim.State) *EventRequest {
 		Time:       st.Time,
 		JobSeconds: st.JobSeconds,
 		Order:      make([]int, len(st.Jobs)),
+		Deadline:   s.Deadline,
 	}
 	if st.TotalExecutors != s.total {
 		// Executor-pool delta (churn, late arrivals); 0 means unchanged.
@@ -317,9 +351,15 @@ func (r *RemoteScheduler) Schedule(s *sim.State) *sim.Action {
 // SessionScheduler when MaxRetries is zero.
 const DefaultSessionRetries = 4
 
-// DefaultSessionBackoff is the initial retry backoff of a SessionScheduler
-// when Backoff is zero; it doubles per transient failure within one event.
+// DefaultSessionBackoff is the initial retry backoff ceiling of a
+// SessionScheduler when Backoff is zero; the ceiling doubles per backoff
+// within one event and every sleep is a full-jitter draw below it.
 const DefaultSessionBackoff = 25 * time.Millisecond
+
+// DefaultSessionMaxBackoff caps the doubling backoff ceiling when
+// MaxBackoff is zero, so a long outage retries steadily instead of sleeping
+// into minutes.
+const DefaultSessionMaxBackoff = 2 * time.Second
 
 // SessionScheduler adapts the client to sim.Scheduler over the v2 session
 // protocol: it opens a session lazily on the first scheduling event (using
@@ -341,13 +381,27 @@ const DefaultSessionBackoff = 25 * time.Millisecond
 //   - replica draining (an Open hit a server that is shutting down): back
 //     off and retry — behind a router the retry re-routes, on a single
 //     address a replacement process typically takes over.
+//   - overloaded (the server shed the request before touching the session —
+//     admission gate or deadline budget): back off with jitter and resend
+//     the identical event on the same connection. No redial — the transport
+//     is healthy — and no reopen: shedding is pre-mutation, the session and
+//     its seq are intact.
 //   - transient transport failure (connection died, server restarting):
-//     redial the same address with exponential backoff and reopen.
+//     redial the same address with backoff and reopen.
 //   - anything else (a fatal application error — unknown scheduler name,
 //     malformed request): no retry; the event falls through to Fallback.
 //
-// When the attempt budget runs out the scheduler enters degraded mode:
-// every subsequent event probes the server exactly once (no backoff) and
+// Every backoff sleep is a full-jitter draw: uniform in (0, ceiling), with
+// the ceiling doubling per sleep up to MaxBackoff. Jitter desynchronises
+// the retry herd a fleet-wide drain or overload would otherwise create —
+// with deterministic sleeps, every client that failed together retries
+// together, forever. The draws come from a rand seeded with Seed, so runs
+// are reproducible.
+//
+// When the attempt budget runs out — MaxRetries attempts, or the MaxElapsed
+// wall-clock cap if one is set — the event fails with ErrRetriesExhausted
+// (delivered to OnError) and the scheduler enters degraded mode: every
+// subsequent event probes the server exactly once (no backoff) and
 // otherwise decides locally via Fallback, so a run keeps making progress
 // while the server is down and transparently returns to remote decisions
 // when it comes back.
@@ -369,9 +423,21 @@ type SessionScheduler struct {
 	// MaxRetries bounds attempts per scheduling event (0 selects
 	// DefaultSessionRetries; negative disables retrying).
 	MaxRetries int
-	// Backoff is the initial transient-failure backoff (0 selects
-	// DefaultSessionBackoff). It doubles per transient failure.
+	// Backoff is the initial backoff ceiling (0 selects
+	// DefaultSessionBackoff). The ceiling doubles per backoff within one
+	// event; each sleep is a full-jitter draw below the ceiling.
 	Backoff time.Duration
+	// MaxBackoff caps the doubling ceiling (0 selects
+	// DefaultSessionMaxBackoff).
+	MaxBackoff time.Duration
+	// MaxElapsed, when positive, caps the wall-clock one scheduling event may
+	// spend retrying; once spent the event fails with ErrRetriesExhausted
+	// even if attempts remain. Zero means attempts alone bound the event.
+	MaxElapsed time.Duration
+	// Deadline, when positive, rides on every Open and Event as the
+	// server-side overload budget: a server that cannot start the decision
+	// within it sheds with ErrOverloaded instead of queueing the request.
+	Deadline time.Duration
 	// OnError, when set, receives every failed attempt's error.
 	OnError func(error)
 
@@ -381,6 +447,13 @@ type SessionScheduler struct {
 	fb       scheduler.Scheduler
 	fbBroken bool
 	stats    ClientStats
+
+	// Test seams, nil in production: rng draws jitter (lazily seeded from
+	// Seed), now/sleep replace the clock so backoff tests are deterministic
+	// and instant.
+	rng   func() float64
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
 // Stats snapshots the scheduler's recovery counters.
@@ -408,11 +481,20 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 	if r.degraded {
 		attempts = 1 // probe once per event while degraded
 	}
-	backoff := r.Backoff
-	if backoff <= 0 {
-		backoff = DefaultSessionBackoff
+	ceiling := r.Backoff
+	if ceiling <= 0 {
+		ceiling = DefaultSessionBackoff
 	}
+	maxCeiling := r.MaxBackoff
+	if maxCeiling <= 0 {
+		maxCeiling = DefaultSessionMaxBackoff
+	}
+	start := r.clock()
+	var lastErr error
 	for a := 0; a < attempts; a++ {
+		if r.MaxElapsed > 0 && a > 0 && r.clock().Sub(start) >= r.MaxElapsed {
+			break // wall budget spent: exhausted even with attempts left
+		}
 		gen := r.Client.generation()
 		r.stats.Attempts.Add(1)
 		act, err := r.eventOnce(s)
@@ -421,6 +503,7 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 			r.stats.Events.Add(1)
 			return act
 		}
+		lastErr = err
 		if r.OnError != nil {
 			r.OnError(err)
 		}
@@ -443,16 +526,24 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 			if r.degraded {
 				break
 			}
-			time.Sleep(backoff)
-			backoff *= 2
+			ceiling = r.backoff(ceiling, maxCeiling)
+		case IsOverloaded(err):
+			// The server shed before touching the session: back off and
+			// resend the identical event. No redial (transport is healthy),
+			// no reopen (the session and its seq are intact — dropping it
+			// would force a needless full-state resend).
+			r.stats.Overloaded.Add(1)
+			if r.degraded {
+				break
+			}
+			ceiling = r.backoff(ceiling, maxCeiling)
 		case IsTransient(err):
 			r.stats.Transient.Add(1)
 			r.sess = nil
 			if r.degraded {
 				break // degraded probes never sleep
 			}
-			time.Sleep(backoff)
-			backoff *= 2
+			ceiling = r.backoff(ceiling, maxCeiling)
 			if rerr := r.Client.redialFrom(gen); rerr == nil {
 				if r.Client.generation() != gen {
 					r.stats.Redials.Add(1)
@@ -465,8 +556,50 @@ func (r *SessionScheduler) Schedule(s *sim.State) *sim.Action {
 			return r.fallback(s)
 		}
 	}
+	if !r.degraded {
+		// The whole budget ran out on a healthy (non-degraded) event: report
+		// it as the typed permanent failure before degrading. Degraded
+		// probes exhaust their budget of one every event — not news.
+		r.stats.Exhausted.Add(1)
+		if r.OnError != nil {
+			r.OnError(fmt.Errorf("rpcsvc: event abandoned after %v (last error: %v): %w",
+				r.clock().Sub(start).Round(time.Millisecond), lastErr, ErrRetriesExhausted))
+		}
+	}
 	r.degraded = true
 	return r.fallback(s)
+}
+
+// clock returns the current time through the test seam.
+func (r *SessionScheduler) clock() time.Time {
+	if r.now != nil {
+		return r.now()
+	}
+	return time.Now()
+}
+
+// backoff sleeps one full-jitter draw — uniform in (0, ceiling) — and
+// returns the next ceiling (doubled, capped at max). Jitter spreads
+// simultaneous retriers across the window instead of marching them in
+// lockstep; full jitter (draw over the whole window, not half) empties a
+// thundering herd fastest for a given ceiling.
+func (r *SessionScheduler) backoff(ceiling, max time.Duration) time.Duration {
+	if ceiling > max {
+		ceiling = max
+	}
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed)).Float64
+	}
+	d := time.Duration(r.rng() * float64(ceiling))
+	if r.sleep != nil {
+		r.sleep(d)
+	} else {
+		time.Sleep(d)
+	}
+	if ceiling < max {
+		ceiling *= 2
+	}
+	return ceiling
 }
 
 // eventOnce performs one open-if-needed + event round trip.
@@ -478,10 +611,12 @@ func (r *SessionScheduler) eventOnce(s *sim.State) (*sim.Action, error) {
 			TotalExecutors: s.TotalExecutors,
 			MoveDelay:      s.MoveDelay,
 			Key:            r.Key,
+			Deadline:       r.Deadline,
 		})
 		if err != nil {
 			return nil, err
 		}
+		sess.Deadline = r.Deadline
 		if r.opened {
 			r.stats.Reopens.Add(1)
 		}

@@ -19,6 +19,8 @@ const (
 	seqGapMarker     = "[rpcsvc:seq-gap]"
 	wrongShardMarker = "[rpcsvc:wrong-shard]"
 	drainingMarker   = "[rpcsvc:draining]"
+	overloadedMarker = "[rpcsvc:overloaded]"
+	exhaustedMarker  = "[rpcsvc:retries-exhausted]"
 )
 
 // ErrSessionEvicted reports the session no longer exists on the server: it
@@ -47,6 +49,26 @@ var ErrWrongShard = errors.New("session moved to another shard " + wrongShardMar
 // process typically takes over the address.
 var ErrReplicaDraining = errors.New("replica draining, not accepting sessions " + drainingMarker)
 
+// ErrOverloaded reports the server shed the request before doing any work on
+// it: the admission gate was saturated (in-flight + parked events past
+// MaxInflight) or the request's deadline budget was already spent when its
+// turn came. Shedding always happens before the session mirror mutates, so
+// the session — and its seq — are intact: the documented recovery is to back
+// off (with jitter) and retry the same event on the same connection. No
+// redial, no reopen. The condition is transient by nature but deliberately
+// NOT matched by IsTransient: it is an application answer from a healthy
+// server, and a fleet router must forward it verbatim rather than fail the
+// replica over.
+var ErrOverloaded = errors.New("server overloaded, request shed " + overloadedMarker)
+
+// ErrRetriesExhausted reports a SessionScheduler spent its whole per-event
+// retry budget (MaxRetries attempts or the MaxElapsed wall-clock cap) without
+// a successful answer. It is permanent for the event: the scheduler stops
+// retrying, decides via Fallback and enters degraded mode. Client-side only —
+// it never crosses the wire — but it carries a marker like its peers so the
+// classification matrix stays uniform.
+var ErrRetriesExhausted = errors.New("retry budget exhausted " + exhaustedMarker)
+
 // IsSessionEvicted reports whether err means the session is gone from the
 // server, in-process or over the wire.
 func IsSessionEvicted(err error) bool {
@@ -69,6 +91,18 @@ func IsWrongShard(err error) bool {
 // or over the wire.
 func IsReplicaDraining(err error) bool {
 	return err != nil && (errors.Is(err, ErrReplicaDraining) || strings.Contains(err.Error(), drainingMarker))
+}
+
+// IsOverloaded reports whether err is an overload shed (admission gate or
+// deadline budget), in-process or over the wire.
+func IsOverloaded(err error) bool {
+	return err != nil && (errors.Is(err, ErrOverloaded) || strings.Contains(err.Error(), overloadedMarker))
+}
+
+// IsRetriesExhausted reports whether err is a client retry-budget
+// exhaustion.
+func IsRetriesExhausted(err error) bool {
+	return err != nil && (errors.Is(err, ErrRetriesExhausted) || strings.Contains(err.Error(), exhaustedMarker))
 }
 
 // IsTransient reports whether err looks like a transport failure worth

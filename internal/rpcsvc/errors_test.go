@@ -1,0 +1,120 @@
+package rpcsvc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"testing"
+)
+
+// faultService returns whichever sentinel the caller names — a minimal
+// net/rpc service for round-tripping every typed error through the real
+// codec, where server-side errors are flattened to strings.
+type faultService struct{ errs map[string]error }
+
+func (f *faultService) Fail(name string, _ *string) error { return f.errs[name] }
+
+// wireFlatten sends each sentinel through a genuine net/rpc round trip
+// (gob codec over a pipe) and returns the client-observed errors, which are
+// rpc.ServerError strings — the form the marker machinery exists for.
+func wireFlatten(t *testing.T, errs map[string]error) map[string]error {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Fault", &faultService{errs: errs}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go srv.ServeConn(a)
+	cli := rpc.NewClient(b)
+	defer cli.Close()
+	out := make(map[string]error, len(errs))
+	for name := range errs {
+		var reply string
+		out[name] = cli.Call("Fault.Fail", name, &reply)
+	}
+	return out
+}
+
+// TestErrorClassificationMatrix pins the whole taxonomy: every sentinel is
+// recognised by exactly its own predicate — bare, wrapped, and after net/rpc
+// string-flattening — and never by any other, while transport failures are
+// IsTransient and nothing else. A hole anywhere in this matrix is a client
+// taking the wrong recovery path (reopening a live session, redialing a
+// healthy transport, failing over a merely busy replica).
+func TestErrorClassificationMatrix(t *testing.T) {
+	preds := []struct {
+		name string
+		fn   func(error) bool
+	}{
+		{"IsSessionEvicted", IsSessionEvicted},
+		{"IsSeqGap", IsSeqGap},
+		{"IsWrongShard", IsWrongShard},
+		{"IsReplicaDraining", IsReplicaDraining},
+		{"IsOverloaded", IsOverloaded},
+		{"IsRetriesExhausted", IsRetriesExhausted},
+		{"IsTransient", IsTransient},
+	}
+	sentinels := []struct {
+		name string
+		err  error
+		want string // the one predicate that must match
+	}{
+		{"evicted", ErrSessionEvicted, "IsSessionEvicted"},
+		{"seq-gap", ErrSeqGap, "IsSeqGap"},
+		{"wrong-shard", ErrWrongShard, "IsWrongShard"},
+		{"draining", ErrReplicaDraining, "IsReplicaDraining"},
+		{"overloaded", ErrOverloaded, "IsOverloaded"},
+		{"exhausted", ErrRetriesExhausted, "IsRetriesExhausted"},
+	}
+
+	byName := make(map[string]error, len(sentinels))
+	for _, s := range sentinels {
+		byName[s.name] = s.err
+	}
+	wire := wireFlatten(t, byName)
+
+	check := func(form string, err error, want string) {
+		t.Helper()
+		for _, p := range preds {
+			if got := p.fn(err); got != (p.name == want) {
+				t.Errorf("%s/%s: %s(%v) = %v, want %v", form, want, p.name, err, got, !got)
+			}
+		}
+	}
+	for _, s := range sentinels {
+		check("bare", s.err, s.want)
+		check("wrapped", fmt.Errorf("attempt 3: %w", s.err), s.want)
+		check("wire", wire[s.name], s.want)
+
+		// The wire form really did flatten: it is an rpc.ServerError whose
+		// sentinel identity is gone. If errors.Is still worked here, the
+		// marker substrings would be redundant.
+		var se rpc.ServerError
+		if !errors.As(wire[s.name], &se) {
+			t.Errorf("%s: wire error is %T, want rpc.ServerError", s.name, wire[s.name])
+		}
+		if errors.Is(wire[s.name], s.err) {
+			t.Errorf("%s: sentinel identity survived the wire — marker machinery untested", s.name)
+		}
+	}
+
+	// Transport failures: transient, and nothing but transient.
+	for _, tr := range []struct {
+		name string
+		err  error
+	}{
+		{"shutdown", rpc.ErrShutdown},
+		{"eof", io.EOF},
+		{"unexpected-eof", io.ErrUnexpectedEOF},
+		{"op-error", &net.OpError{Op: "read", Net: "tcp", Err: errors.New("connection reset by peer")}},
+		{"wrapped-op-error", fmt.Errorf("event: %w", &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("connection refused")})},
+	} {
+		check(tr.name, tr.err, "IsTransient")
+	}
+
+	// Unclassified errors match nothing; neither does nil.
+	check("plain", errors.New("unknown scheduler \"nope\""), "")
+	check("nil", nil, "")
+}

@@ -36,6 +36,7 @@ package rpcsvc
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/sim"
@@ -113,6 +114,12 @@ type OpenRequest struct {
 	// the same replica while the replica set is unchanged. Empty is valid
 	// (the router mints an ephemeral key); single servers ignore it.
 	Key string
+	// Deadline is the caller's time budget for this open (a relative
+	// duration — wall-clock instants would need synchronised clocks). A
+	// saturated or slow server sheds the open with ErrOverloaded once the
+	// budget is spent instead of binding a session the client has stopped
+	// waiting for. Zero (the pre-overload wire form) means no budget.
+	Deadline time.Duration
 }
 
 // OpenResponse returns the session id for subsequent Event/Close calls.
@@ -172,6 +179,14 @@ type EventRequest struct {
 	Deltas []JobDelta
 	// FreeExecutors is the currently assignable executor set.
 	FreeExecutors []ExecutorInfo
+	// Deadline is the caller's time budget for this event, relative to its
+	// arrival at the server. When the budget is spent before the decision
+	// starts — admission backlog, lock wait, a parked batch — the server
+	// sheds with ErrOverloaded *before* touching the session mirror, so the
+	// client can retry the identical request. Zero means no budget (the
+	// pre-overload wire form; old clients never set it, old servers ignore
+	// it).
+	Deadline time.Duration
 }
 
 // EventResponse carries the scheduling decision for one event.

@@ -39,6 +39,12 @@ type SessionConfig struct {
 	// to join. 0 (the default) relies purely on adaptive coalescing; a lone
 	// request is never delayed either way.
 	BatchWindow time.Duration
+	// MaxInflight bounds admitted work — Events currently executing or parked
+	// in the batcher, across all sessions. Beyond it the server sheds new
+	// Events (and Opens) with ErrOverloaded instead of queueing unboundedly
+	// behind the dispatcher. 0 (the default) disables admission control, the
+	// pre-overload behaviour.
+	MaxInflight int
 	// ReplicaID names this server instance in Open replies and metrics, so
 	// fleet clients can observe which replica serves a session. Empty is
 	// fine for single-server deployments.
@@ -78,6 +84,9 @@ type Decima struct {
 	batch *batcher
 	// replicaID names this instance in Open replies (see SessionConfig).
 	replicaID string
+	// maxInflight, when positive, bounds admitted Events (executing or
+	// parked); the gate compares it against stats.Inflight.
+	maxInflight int
 	// draining, once set, rejects new Opens while existing sessions keep
 	// serving — the SIGTERM graceful-drain mode of cmd/decima-server and
 	// the handshake a fleet router uses to migrate sessions away.
@@ -117,7 +126,7 @@ func NewDecimaSessions(cfg SessionConfig) *Decima {
 			return scheduler.New(name, scheduler.Options{Seed: seed})
 		}
 	}
-	d := &Decima{factory: factory, defName: cfg.Default, replicaID: cfg.ReplicaID}
+	d := &Decima{factory: factory, defName: cfg.Default, replicaID: cfg.ReplicaID, maxInflight: cfg.MaxInflight}
 	d.tbl = newSessionTable(max, idle, &d.stats)
 	maxBatch := cfg.MaxBatch
 	if maxBatch == 0 {
@@ -167,9 +176,24 @@ func (d *Decima) Open(req *OpenRequest, resp *OpenResponse) error {
 		d.stats.OpensRejected.Add(1)
 		return fmt.Errorf("rpcsvc: replica %q: %w", d.replicaID, ErrReplicaDraining)
 	}
+	// Opens pass the same admission gate as Events: a saturated replica must
+	// not bind new sessions it cannot serve. Opens are not counted in-flight
+	// themselves (they are cheap and hold no locks the batcher waits on).
+	if d.maxInflight > 0 && d.stats.Inflight.Load() >= int64(d.maxInflight) {
+		d.stats.Shed.Add(1)
+		return fmt.Errorf("rpcsvc: replica %q: admission queue full: %w", d.replicaID, ErrOverloaded)
+	}
+	arrival := time.Now()
 	sched, decideMu, err := d.newScheduler(req.Scheduler, req.Seed)
 	if err != nil {
 		return err
+	}
+	// Scheduler construction is the expensive part of an Open (for decima, a
+	// full parameter copy); shed before binding a session the client has
+	// stopped waiting for. No table entry exists yet, so this is pre-mutation.
+	if req.Deadline > 0 && time.Since(arrival) > req.Deadline {
+		d.stats.DeadlineMiss.Add(1)
+		return fmt.Errorf("rpcsvc: replica %q: open deadline budget exhausted: %w", d.replicaID, ErrOverloaded)
 	}
 	sess := &session{
 		sched:     sched,
@@ -189,14 +213,30 @@ func (d *Decima) Open(req *OpenRequest, resp *OpenResponse) error {
 }
 
 // Event applies one state delta to the session's mirror and returns the
-// scheduler's decision for the event.
+// scheduler's decision for the event. Overload shedding (admission gate,
+// deadline budget) happens strictly before the mirror mutates, so a shed
+// event is exactly retryable: the client resends the identical request
+// (same seq, same NewJobs) after backing off.
 func (d *Decima) Event(req *EventRequest, resp *EventResponse) error {
+	in := d.stats.Inflight.Add(1)
+	defer d.stats.Inflight.Add(-1)
+	if d.maxInflight > 0 && in > int64(d.maxInflight) {
+		d.stats.Shed.Add(1)
+		return fmt.Errorf("rpcsvc: replica %q: admission queue full (%d in flight): %w", d.replicaID, in-1, ErrOverloaded)
+	}
+	// The deadline budget is relative to arrival; resolve it to an instant
+	// now so time spent waiting on the session lock or parked in the batcher
+	// counts against it.
+	var deadline time.Time
+	if req.Deadline > 0 {
+		deadline = time.Now().Add(req.Deadline)
+	}
 	sess, evicted, err := d.tbl.get(req.SID)
 	resetAll(evicted)
 	if err != nil {
 		return err
 	}
-	r, err := sess.event(req, d.batch)
+	r, err := sess.event(req, d.batch, deadline)
 	if err != nil {
 		if IsSeqGap(err) {
 			d.stats.SeqGaps.Add(1)
@@ -251,7 +291,7 @@ func (d *Decima) Schedule(req *ScheduleRequest, resp *ScheduleResponse) error {
 	for i := range req.Jobs {
 		ev.Order = append(ev.Order, req.Jobs[i].ID)
 	}
-	r, err := sess.event(ev, nil) // shim shares one scheduler: never batched
+	r, err := sess.event(ev, nil, time.Time{}) // shim shares one scheduler: never batched
 	if err != nil {
 		return err
 	}

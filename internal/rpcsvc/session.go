@@ -45,8 +45,12 @@ type session struct {
 //
 // The request is validated in full before anything mutates — a rejected
 // event leaves the mirror (and seq) exactly as the client's shadow has it,
-// so one bad request can never wedge an otherwise healthy session.
-func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error) {
+// so one bad request can never wedge an otherwise healthy session. The
+// deadline shed obeys the same rule: a deadline miss (budget spent waiting
+// on s.mu behind a slow decide, or in the admission backlog) answers
+// ErrOverloaded before seq advances or a job materialises, so the client's
+// retry of the identical request is valid.
+func (s *session) event(req *EventRequest, b *batcher, deadline time.Time) (*ScheduleResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -55,6 +59,12 @@ func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error
 	}
 	if err := s.validate(req); err != nil {
 		return nil, err
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		if s.stats != nil {
+			s.stats.DeadlineMiss.Add(1)
+		}
+		return nil, fmt.Errorf("rpcsvc: session %d: deadline budget exhausted before decide: %w", s.id, ErrOverloaded)
 	}
 	s.seq = req.Seq
 	// Executor-pool delta: under failure dynamics the cluster shrinks and
@@ -139,7 +149,7 @@ func (s *session) event(req *EventRequest, b *batcher) (*ScheduleResponse, error
 		// until the batch answers. A stopped batcher falls through to the
 		// sequential decide below — same result.
 		if ag, ok := s.sched.(*core.Agent); ok {
-			if act, served := b.decide(ag, state); served {
+			if act, served := b.decide(ag, state, deadline); served {
 				if s.stats != nil {
 					s.stats.Decide.Observe(time.Since(start))
 				}

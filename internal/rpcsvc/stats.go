@@ -110,6 +110,15 @@ type ServerStats struct {
 	OpensRejected atomic.Uint64
 	// SeqGaps counts events rejected for sequence-order violations.
 	SeqGaps atomic.Uint64
+	// Shed counts requests refused at the admission gate (in-flight + parked
+	// events past MaxInflight); DeadlineMiss counts requests shed because
+	// their deadline budget was spent before the decision could start. Both
+	// shed paths answer ErrOverloaded and never touch the session mirror, so
+	// shed work is exactly retryable — Decide never observes it.
+	Shed, DeadlineMiss atomic.Uint64
+	// Inflight tracks events currently admitted (executing or parked in the
+	// batcher); the admission gate compares it against MaxInflight.
+	Inflight atomic.Int64
 	// EvictedLRU and EvictedIdle count session-table evictions by cause.
 	EvictedLRU, EvictedIdle atomic.Uint64
 	// Decide observes the latency of every scheduling decision (batched or
@@ -124,6 +133,8 @@ type StatsSnapshot struct {
 	Opens, Closes, Events, Stateless uint64
 	OpensRejected                    uint64
 	SeqGaps                          uint64
+	Shed, DeadlineMiss               uint64
+	Inflight                         int64
 	EvictedLRU, EvictedIdle          uint64
 	Draining                         bool
 	Replica                          string
@@ -140,6 +151,9 @@ func (st *ServerStats) snapshot() StatsSnapshot {
 		Stateless:     st.Stateless.Load(),
 		OpensRejected: st.OpensRejected.Load(),
 		SeqGaps:       st.SeqGaps.Load(),
+		Shed:          st.Shed.Load(),
+		DeadlineMiss:  st.DeadlineMiss.Load(),
+		Inflight:      st.Inflight.Load(),
 		EvictedLRU:    st.EvictedLRU.Load(),
 		EvictedIdle:   st.EvictedIdle.Load(),
 		Decide:        st.Decide.Snapshot(),
@@ -168,6 +182,9 @@ func (s StatsSnapshot) WriteProm(w io.Writer, labels string) {
 	c("decima_events_total", s.Events)
 	c("decima_stateless_total", s.Stateless)
 	c("decima_seq_gaps_total", s.SeqGaps)
+	c("decima_shed_total", s.Shed)
+	c("decima_deadline_miss_total", s.DeadlineMiss)
+	fmt.Fprintf(w, "# TYPE decima_inflight gauge\ndecima_inflight%s %d\n", braced, s.Inflight)
 	evl := labels
 	if evl != "" {
 		evl += ","
@@ -189,9 +206,12 @@ type ClientStats struct {
 	Reopens atomic.Uint64
 	// Redials counts transport replacements.
 	Redials atomic.Uint64
-	// Evicted, WrongShard, Draining and Transient count failed attempts by
-	// classified cause.
-	Evicted, WrongShard, Draining, Transient atomic.Uint64
+	// Evicted, WrongShard, Draining, Overloaded and Transient count failed
+	// attempts by classified cause.
+	Evicted, WrongShard, Draining, Overloaded, Transient atomic.Uint64
+	// Exhausted counts scheduling events whose whole retry budget
+	// (MaxRetries or MaxElapsed) ran out, tripping ErrRetriesExhausted.
+	Exhausted atomic.Uint64
 	// Fallbacks counts events decided by the local fallback policy.
 	Fallbacks atomic.Uint64
 }
@@ -199,10 +219,11 @@ type ClientStats struct {
 // ClientStatsSnapshot is a point-in-time copy of a SessionScheduler's
 // recovery counters.
 type ClientStatsSnapshot struct {
-	Events, Attempts                         uint64
-	Reopens, Redials                         uint64
-	Evicted, WrongShard, Draining, Transient uint64
-	Fallbacks                                uint64
+	Events, Attempts                                     uint64
+	Reopens, Redials                                     uint64
+	Evicted, WrongShard, Draining, Overloaded, Transient uint64
+	Exhausted                                            uint64
+	Fallbacks                                            uint64
 }
 
 func (c *ClientStats) snapshot() ClientStatsSnapshot {
@@ -214,7 +235,9 @@ func (c *ClientStats) snapshot() ClientStatsSnapshot {
 		Evicted:    c.Evicted.Load(),
 		WrongShard: c.WrongShard.Load(),
 		Draining:   c.Draining.Load(),
+		Overloaded: c.Overloaded.Load(),
 		Transient:  c.Transient.Load(),
+		Exhausted:  c.Exhausted.Load(),
 		Fallbacks:  c.Fallbacks.Load(),
 	}
 }
