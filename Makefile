@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-robustness smoke-server smoke-restart smoke-fleet smoke-chaos fmt vet docs-check
+.PHONY: all build test race bench bench-json bench-robustness smoke-server smoke-restart smoke-fleet smoke-chaos smoke-online fuzz fmt vet docs-check
 
 all: build vet fmt docs-check test
 
@@ -51,6 +51,10 @@ docs-check:
 # "served/sec", "shed_frac" and "p99_ms" per load level; the bar is shed_frac
 # climbing past capacity while p99_ms stays bounded (load is refused at the
 # gate, never queued into a latency collapse); see docs/ROBUSTNESS.md.
+# BENCH_online.json: the online-loop serving costs — full recorded vs
+# unrecorded session runs ("events/sec"; the off/on delta is the recording
+# tax, bounded at ±2%) and the hot-swap sweep latency across 8 live
+# sessions; see docs/ONLINE.md.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkInferenceDecision' -benchtime=200x ./internal/core/ > bench-core.out
 	$(GO) test -run '^$$' -bench 'BenchmarkFig9a$$' -benchtime=1x . > bench-fig9a.out
@@ -65,8 +69,19 @@ bench-json:
 	cat bench-fleet.out | $(GO) run ./cmd/benchjson > BENCH_fleet.json
 	$(GO) test -run '^$$' -bench 'BenchmarkOverload' -benchtime=200x ./internal/rpcsvc/ > bench-overload.out
 	cat bench-overload.out | $(GO) run ./cmd/benchjson > BENCH_overload.json
-	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out bench-fleet.out bench-overload.out
-	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json BENCH_fleet.json BENCH_overload.json
+	$(GO) test -run '^$$' -bench 'BenchmarkOnlineLoop' -benchtime=20x ./internal/online/ > bench-online.out
+	cat bench-online.out | $(GO) run ./cmd/benchjson > BENCH_online.json
+	@rm -f bench-core.out bench-fig9a.out bench-serving.out bench-training.out bench-kernels.out bench-fleet.out bench-overload.out bench-online.out
+	@cat BENCH_inference.json BENCH_serving.json BENCH_training.json BENCH_kernels.json BENCH_fleet.json BENCH_overload.json BENCH_online.json
+
+# Fuzz the serving decode surfaces: gob request frames into the session
+# service and checkpoint images into the registry reader. Each target gets
+# its own invocation (go test allows one -fuzz pattern per run); the seed
+# corpora are always exercised by plain `make test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzGobOpenRequest' -fuzztime 30s ./internal/rpcsvc/
+	$(GO) test -run '^$$' -fuzz 'FuzzGobEventRequest' -fuzztime 30s ./internal/rpcsvc/
+	$(GO) test -run '^$$' -fuzz 'FuzzCheckpoint' -fuzztime 30s ./internal/registry/
 
 # BENCH_robustness.json: the failure-regime matrix (CI `robustness` job).
 # First the fast lossy-regime gate the job is named for (decima trained
@@ -107,6 +122,14 @@ smoke-fleet:
 smoke-chaos:
 	$(GO) build -o bin/decima-server ./cmd/decima-server
 	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -chaos
+
+# Online-loop smoke: the serving binary runs with a live registry and the
+# in-process trainer on; recorded sessions feed it until a hot-swap lands,
+# then /metrics, /healthz and the registry on disk must all agree on the
+# new model version (docs/ONLINE.md).
+smoke-online:
+	$(GO) build -o bin/decima-server ./cmd/decima-server
+	$(GO) run ./cmd/decima-smoke -bin bin/decima-server -online
 
 fmt:
 	@out="$$(gofmt -l .)"; \

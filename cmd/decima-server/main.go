@@ -19,16 +19,26 @@
 // the replica's sessions away), and the process exits once its sessions are
 // gone or -drain-timeout elapses. SIGINT still shuts down immediately.
 //
+// With `-registry` the `-model` flag names a registry checkpoint
+// (`name` or `name@version`, see docs/ONLINE.md) instead of a weights file,
+// and `-online` closes the training loop in-process: sessions opened with
+// recording stream their finished trajectories to a background trainer,
+// which periodically publishes a new registry version and hot-swaps every
+// live session onto it — without dropping a single session.
+//
 // Example:
 //
 //	decima-server -addr 127.0.0.1:7764 -executors 25 -model model.gob
 //	decima-server -scheduler fifo
 //	decima-server -replica-id r1 -http 127.0.0.1:9101
+//	decima-server -registry /var/lib/decima -model prod@3
+//	decima-server -registry /var/lib/decima -online -online-name prod
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"math/rand"
@@ -37,11 +47,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/online"
+	"repro/internal/registry"
 	"repro/internal/rpcsvc"
 	"repro/internal/scheduler"
 )
@@ -51,7 +64,12 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:7764", "listen address")
 		schedName    = flag.String("scheduler", "decima", "default policy served to sessions that do not name one ("+strings.Join(scheduler.Names(), "|")+")")
 		executors    = flag.Int("executors", 25, "executor count the decima model was built for")
-		model        = flag.String("model", "", "optional trained decima model to load")
+		model        = flag.String("model", "", "optional trained decima model: a weights file, or a registry ref (name or name@version) when -registry is set")
+		regDir       = flag.String("registry", "", "model registry directory; makes -model a registry ref and enables -online")
+		onlineFlag   = flag.Bool("online", false, "learn online from recorded session traffic and hot-swap published versions live (requires -registry)")
+		onlineName   = flag.String("online-name", "online", "registry model name -online publishes under")
+		publishEvery = flag.Int("online-publish-every", 8, "publish and hot-swap after this many trained episodes")
+		recordMax    = flag.Int("record-max-steps", rpcsvc.DefaultRecordMaxSteps, "per-session trajectory ring capacity for recorded sessions")
 		sampled      = flag.Bool("sampled", false, "sample actions instead of greedy argmax")
 		seed         = flag.Int64("seed", 1, "random seed for schedulers (per-session seeds from OpenSession take precedence)")
 		maxSessions  = flag.Int("max-sessions", rpcsvc.DefaultMaxSessions, "bound on concurrent sessions (LRU eviction beyond it; <0 unbounded)")
@@ -81,10 +99,38 @@ func main() {
 	// keeps the server-side sim.JobState mirrors alive across events, so
 	// the pointer+Version-keyed cache finally hits in serving too.
 	base := core.New(core.DefaultConfig(*executors), rand.New(rand.NewSource(*seed)))
-	if *model != "" {
+	// baseMu guards base against the online hot-swap loop: session factories
+	// clone base, the swap loop installs new registry checkpoints into it.
+	var baseMu sync.Mutex
+	var reg *registry.Registry
+	modelName, modelVersion := "", 0
+	if *regDir != "" {
+		var err error
+		if reg, err = registry.Open(*regDir); err != nil {
+			log.Fatalf("open registry: %v", err)
+		}
+	}
+	switch {
+	case *model != "" && reg != nil:
+		ref, err := registry.ParseRef(*model)
+		if err != nil {
+			log.Fatalf("parse model ref: %v", err)
+		}
+		ck, err := reg.Load(ref)
+		if err != nil {
+			log.Fatalf("load model %q from registry: %v", *model, err)
+		}
+		if err := ck.Install(base); err != nil {
+			log.Fatalf("install model %q: %v", *model, err)
+		}
+		modelName, modelVersion = ck.Name, ck.Version
+	case *model != "":
 		if err := base.Load(*model); err != nil {
 			log.Fatalf("load model: %v", err)
 		}
+	}
+	if *onlineFlag && reg == nil {
+		log.Fatal("-online requires -registry")
 	}
 
 	cfg := rpcsvc.SessionConfig{
@@ -99,6 +145,10 @@ func main() {
 			if sessSeed == 0 {
 				sessSeed = *seed
 			}
+			// Cloning reads base's parameters; hold baseMu so a concurrent
+			// hot-swap install cannot tear the copy.
+			baseMu.Lock()
+			defer baseMu.Unlock()
 			return scheduler.New(name, scheduler.Options{
 				Executors: *executors,
 				Seed:      sessSeed,
@@ -108,9 +158,19 @@ func main() {
 		},
 	}
 
+	var trainer *online.Trainer
+	if *onlineFlag {
+		trainer = online.New(base, online.Config{})
+		cfg.RecordSink = trainer.Submit
+		cfg.RecordMaxSteps = *recordMax
+	}
+
 	srv, err := rpcsvc.ListenAndServeSessions(*addr, cfg)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if modelName != "" {
+		srv.Service().SetModel(modelName, modelVersion)
 	}
 	fmt.Printf("decima scheduling service listening on %s\n", srv.Addr())
 	fmt.Printf("default scheduler %q, max %d sessions, idle timeout %s\n", *schedName, *maxSessions, *idleTimeout)
@@ -121,12 +181,72 @@ func main() {
 	}
 
 	logger := slog.Default().With("replica", *replicaID)
+
+	if trainer != nil {
+		// The online loop: drain finished episodes into gradient updates;
+		// every publishEvery episodes publish a registry version, reload it,
+		// and hot-swap every live session onto the published parameters. The
+		// reload (rather than syncing from the still-training agent) is what
+		// keeps served lineages immutable — see rpcsvc.(*Decima).SwapAgents.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			trained := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := trainer.TrainOnce(); !ok {
+					select {
+					case <-stop:
+						return
+					case <-time.After(20 * time.Millisecond):
+					}
+					continue
+				}
+				trained++
+				if trained%*publishEvery != 0 {
+					continue
+				}
+				ver, err := trainer.Publish(reg, *onlineName, "online update")
+				if err != nil {
+					logger.Error("online publish failed", "err", err)
+					continue
+				}
+				ck, err := reg.Load(registry.Ref{Name: *onlineName, Version: ver})
+				if err != nil {
+					logger.Error("online reload failed", "err", err)
+					continue
+				}
+				baseMu.Lock()
+				err = ck.Install(base)
+				var swapped int
+				if err == nil {
+					swapped = srv.Service().SwapAgents(base, ck.Name, ck.Version)
+				}
+				baseMu.Unlock()
+				if err != nil {
+					logger.Error("online install failed", "err", err)
+					continue
+				}
+				logger.Info("hot-swapped model", "model", fmt.Sprintf("%s@%d", ck.Name, ck.Version), "sessions", swapped)
+			}
+		}()
+		fmt.Printf("online learning on: publishing %q every %d episodes\n", *onlineName, *publishEvery)
+	}
+
 	if *httpAddr != "" {
 		lis, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			log.Fatalf("ops listen: %v", err)
 		}
-		ops := &http.Server{Handler: rpcsvc.NewOpsHandler(srv.Service())}
+		var extras []func(w io.Writer)
+		if trainer != nil {
+			extras = append(extras, trainer.WriteProm)
+		}
+		ops := &http.Server{Handler: rpcsvc.NewOpsHandler(srv.Service(), extras...)}
 		go ops.Serve(lis)
 		defer ops.Close()
 		// NOTE: this banner must not contain "listening on " — process

@@ -27,10 +27,17 @@
 // — jittered backoff, no reopen on shed — and produce the bitwise-identical
 // reference schedule.
 //
+// With -online it exercises the closed learning loop end to end: a server
+// with a temporary model registry and -online learns from recorded session
+// traffic; the smoke drives recorded sessions until the ops /metrics surface
+// shows at least one published-and-hot-swapped model version, then asserts
+// /healthz carries the model identity and the shutdown is clean.
+//
 //	go build -o bin/decima-server ./cmd/decima-server
 //	go run ./cmd/decima-smoke -bin bin/decima-server -events 100
 //	go run ./cmd/decima-smoke -bin bin/decima-server -restart
 //	go run ./cmd/decima-smoke -bin bin/decima-server -chaos
+//	go run ./cmd/decima-smoke -bin bin/decima-server -online
 //	go build -o bin/decima-fleet ./cmd/decima-fleet
 //	go run ./cmd/decima-smoke -bin bin/decima-server -fleet-bin bin/decima-fleet -fleet
 package main
@@ -64,6 +71,7 @@ func main() {
 		restart   = flag.Bool("restart", false, "kill and restart the server mid-session; assert the client self-heals with an identical schedule")
 		chaosRun  = flag.Bool("chaos", false, "run the overload+fault-injection scenario: tiny admission bound, noise sessions, seeded transport chaos; assert the healed schedule matches the reference")
 		fleetRun  = flag.Bool("fleet", false, "run the sharded-fleet scenario: router + 3 replica processes, SIGKILL one and drain another mid-session")
+		onlineRun = flag.Bool("online", false, "run the online-learning scenario: recorded sessions feed an in-process trainer until a published model version is hot-swapped live")
 		fleetBin  = flag.String("fleet-bin", "bin/decima-fleet", "path to the decima-fleet binary (with -fleet)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "overall deadline")
 	)
@@ -84,6 +92,10 @@ func main() {
 	}
 	if *fleetRun {
 		fleetScenario(*bin, *fleetBin, *executors)
+		return
+	}
+	if *onlineRun {
+		onlineScenario(*bin, *executors)
 		return
 	}
 
@@ -372,6 +384,158 @@ func chaosScenario(bin string, executors int) {
 	}
 	fmt.Printf("SMOKE OK: chaos run healed to the reference schedule (%d errors ridden out: %d overload sheds, %d transient faults, %d reopens)\n",
 		errs, cs.Overloaded, cs.Transient, cs.Reopens)
+}
+
+// launchOnlineServer starts a decima-server with a registry, online
+// learning and an ops endpoint, waits for both the RPC and ops banners, and
+// returns the process plus both addresses.
+func launchOnlineServer(bin, regDir string, executors int) (*exec.Cmd, string, string) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-executors", fmt.Sprint(executors),
+		"-registry", regDir,
+		"-online",
+		"-online-publish-every", "2",
+		"-http", "127.0.0.1:0",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatalf("smoke: stdout pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("smoke: start server: %v", err)
+	}
+	sc := bufio.NewScanner(stdout)
+	var rpcAddr, opsAddr string
+	for (rpcAddr == "" || opsAddr == "") && sc.Scan() {
+		line := sc.Text()
+		fmt.Println("[server]", line)
+		if i := strings.LastIndex(line, "listening on "); i >= 0 {
+			rpcAddr = strings.TrimSpace(line[i+len("listening on "):])
+		}
+		if i := strings.LastIndex(line, "ops http on "); i >= 0 {
+			opsAddr = strings.TrimSpace(line[i+len("ops http on "):])
+		}
+	}
+	if rpcAddr == "" || opsAddr == "" {
+		log.Fatal("smoke: server never announced its addresses")
+	}
+	go func() {
+		for sc.Scan() {
+			fmt.Println("[server]", sc.Text())
+		}
+	}()
+	return cmd, rpcAddr, opsAddr
+}
+
+// promValue extracts the value of the first sample whose series name (with
+// or without labels) matches name on a Prometheus text page; ok reports
+// whether the series was present.
+func promValue(page, name string) (float64, bool) {
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// onlineScenario drives the closed loop at process level: recorded sessions
+// against an -online server with a temporary registry, until the trainer has
+// published a version and hot-swapped the live sessions onto it (observed on
+// the ops /metrics page), then asserts the model identity reached /healthz
+// and the registry directory actually holds the published checkpoint.
+func onlineScenario(bin string, executors int) {
+	regDir, err := os.MkdirTemp("", "decima-smoke-registry-")
+	if err != nil {
+		log.Fatalf("smoke: registry tempdir: %v", err)
+	}
+	defer os.RemoveAll(regDir)
+
+	cmd, addr, opsAddr := launchOnlineServer(bin, regDir, executors)
+	defer cmd.Process.Kill()
+
+	cli, err := rpcsvc.Dial(addr)
+	if err != nil {
+		log.Fatalf("smoke: dial %s: %v", addr, err)
+	}
+	defer cli.Close()
+
+	metrics := func() string { return string(adminGET(opsAddr, "/metrics")) }
+
+	// Each round is one recorded session: the episode reaches the trainer on
+	// Close. The server publishes and swaps every 2 trained episodes, so a
+	// handful of rounds must surface online_swaps_total >= 1.
+	const maxRounds = 30
+	swapped := false
+	for round := int64(1); round <= maxRounds && !swapped; round++ {
+		var rpcErr error
+		ss := &rpcsvc.SessionScheduler{Client: cli, Seed: round, Record: true, OnError: func(e error) { rpcErr = e }}
+		jobs := workload.Batch(rand.New(rand.NewSource(round)), 4)
+		res := sim.New(sim.SparkDefaults(executors), jobs, ss, rand.New(rand.NewSource(round))).Run()
+		if rpcErr != nil {
+			log.Fatalf("smoke: session RPC error: %v", rpcErr)
+		}
+		if res.Deadlock || res.Unfinished != 0 {
+			log.Fatalf("smoke: run failed: unfinished=%d deadlock=%v", res.Unfinished, res.Deadlock)
+		}
+		if err := ss.Close(); err != nil {
+			log.Fatalf("smoke: close session: %v", err)
+		}
+		// Give the trainer a beat to consume the queue, then check for a swap.
+		for wait := 0; wait < 40 && !swapped; wait++ {
+			page := metrics()
+			if v, ok := promValue(page, "online_swaps_total"); ok && v >= 1 {
+				swapped = true
+				if rec, ok := promValue(page, "decima_recording_opens_total"); !ok || rec < 1 {
+					log.Fatalf("smoke: swap happened but decima_recording_opens_total=%g: recording was never on", rec)
+				}
+				if mv, ok := promValue(page, "decima_model_version"); !ok || mv < 1 {
+					log.Fatalf("smoke: swap happened but decima_model_version=%g", mv)
+				}
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		fmt.Printf("smoke: round %d ok, %d events, swapped=%v\n", round, res.Invocations, swapped)
+	}
+	if !swapped {
+		log.Fatalf("smoke: no hot-swap after %d recorded sessions:\n%s", maxRounds, metrics())
+	}
+
+	var hs struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(adminGET(opsAddr, "/healthz"), &hs); err != nil {
+		log.Fatalf("smoke: parse /healthz: %v", err)
+	}
+	if !strings.HasPrefix(hs.Model, "online@") {
+		log.Fatalf("smoke: /healthz model %q: want online@<version>", hs.Model)
+	}
+	if _, err := os.Stat(regDir + "/online/v1.ckpt"); err != nil {
+		log.Fatalf("smoke: published checkpoint missing: %v", err)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		log.Fatalf("smoke: signal server: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("smoke: server did not shut down cleanly: %v", err)
+	}
+	fmt.Printf("SMOKE OK: online loop closed — recorded traffic trained, published and hot-swapped %s live\n", hs.Model)
 }
 
 // launchFleet starts a decima-fleet router that spawns three replica

@@ -7,6 +7,7 @@
 //	decima-train -executors 25 -iters 500 -out model.gob
 //	decima-train -workload trace -objective makespan -curve curve.csv
 //	decima-train -iters 200 -eval-against fifo,fair,opt-wfair
+//	decima-train -iters 200 -registry /var/lib/decima -publish prod
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/nn"
+	"repro/internal/registry"
 	"repro/internal/rl"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -46,6 +48,8 @@ func main() {
 		evalVs    = flag.String("eval-against", "", "after training, evaluate the model head-to-head against these comma-separated registry schedulers on held-out sequences")
 		f32       = flag.Bool("f32", false, "float32 storage for no-grad evaluation forwards (tolerance-bounded; training gradients always run float64)")
 		matmulWk  = flag.Int("matmul-workers", 0, "matmul kernel workers for tall stacked forwards (0 = one per CPU; results identical for any value)")
+		regDir    = flag.String("registry", "", "model registry directory; with -publish the trained model is published there as a new version")
+		publish   = flag.String("publish", "", "registry model name to publish the trained model under (requires -registry)")
 	)
 	flag.Parse()
 	nn.SetInference32(*f32)
@@ -108,6 +112,22 @@ func main() {
 		log.Fatalf("save model: %v", err)
 	}
 	fmt.Printf("model written to %s\n", *out)
+
+	if *publish != "" {
+		if *regDir == "" {
+			log.Fatal("-publish requires -registry")
+		}
+		reg, err := registry.Open(*regDir)
+		if err != nil {
+			log.Fatalf("open registry: %v", err)
+		}
+		note := fmt.Sprintf("decima-train: %d iters, workload %s, seed %d", *iters, *wl, *seed)
+		ver, err := reg.Publish(*publish, agent.Params(), note)
+		if err != nil {
+			log.Fatalf("publish model: %v", err)
+		}
+		fmt.Printf("published %s@%d to %s\n", *publish, ver, *regDir)
+	}
 
 	if *evalVs != "" {
 		// Held-out evaluation sequences (not seen during training).

@@ -1,7 +1,7 @@
 // Command docscheck verifies documentation consistency: every repository
 // file referenced from the core documents (README.md, DESIGN.md,
 // EXPERIMENTS.md, docs/PROTOCOL.md, docs/KERNELS.md, docs/FLEET.md,
-// docs/ROBUSTNESS.md, doc.go) must exist. It exists because
+// docs/ROBUSTNESS.md, docs/ONLINE.md, doc.go) must exist. It exists because
 // docs rot silently — doc.go once pointed readers at an EXPERIMENTS.md
 // that was never written — and CI runs it (make docs-check) so a renamed
 // or deleted file fails the build instead of stranding readers.
@@ -35,6 +35,7 @@ var docs = []string{
 	"docs/KERNELS.md",
 	"docs/FLEET.md",
 	"docs/ROBUSTNESS.md",
+	"docs/ONLINE.md",
 	"doc.go",
 }
 

@@ -11,7 +11,9 @@
 // matmul, float32 inference storage, benchmark artifacts), and
 // docs/PROTOCOL.md for the RPC scheduling service's wire protocol, and
 // docs/FLEET.md for the distributed serving tier (session-sharding
-// router, replica lifecycle, fleet observability). The repository-level benchmarks (bench_test.go) regenerate
+// router, replica lifecycle, fleet observability), and docs/ONLINE.md
+// for the closed loop (trajectory recording, online training, the model
+// registry, hot-swap). The repository-level benchmarks (bench_test.go) regenerate
 // every table and figure of the paper's evaluation at a small scale;
 // cmd/decima-bench runs them at larger scales.
 package repro

@@ -17,6 +17,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/gnn"
 	"repro/internal/nn"
@@ -241,8 +242,12 @@ func (a *Agent) SetRNG(rng *rand.Rand) { a.rng = rng }
 func (a *Agent) Save(path string) error { return nn.SaveParamsFile(path, a.Params()) }
 
 // Load reads parameters written by Save. It starts a fresh parameter
-// lineage: the values no longer match any previously made clone, so the
-// loaded agent only batches with clones taken from it afterwards.
+// lineage: a bare file path proves nothing about the bytes behind it, so
+// the loaded agent only batches with clones taken from it afterwards.
+// Loads that *can* prove identity — the model registry, which names every
+// checkpoint by (name, version, checksum) — install the interned lineage
+// for that identity via SetLineageKey instead, so independent agents
+// loading the same checkpoint coalesce in DecideBatch.
 func (a *Agent) Load(path string) error {
 	if err := nn.LoadParamsFile(path, a.Params()); err != nil {
 		return err
@@ -250,6 +255,38 @@ func (a *Agent) Load(path string) error {
 	a.lineage = new(lineageTag)
 	return nil
 }
+
+// internedLineages maps a checkpoint identity to its process-wide lineage
+// marker. Guarded by internMu; entries live for the process lifetime (a
+// handful per served model version — never a growth concern).
+var (
+	internMu         sync.Mutex
+	internedLineages map[string]*lineageTag
+)
+
+// SetLineageKey assigns the agent the process-wide interned lineage for
+// key. Two agents given the same key are batchable by DecideBatch, so the
+// caller must guarantee the key names the exact parameter bytes the agent
+// holds — the model registry derives it from (name, version, checksum).
+// Calling this with parameters that do not match the key's bytes would
+// batch divergent parameter sets together and corrupt decisions.
+func (a *Agent) SetLineageKey(key string) {
+	internMu.Lock()
+	defer internMu.Unlock()
+	if internedLineages == nil {
+		internedLineages = make(map[string]*lineageTag)
+	}
+	tag, ok := internedLineages[key]
+	if !ok {
+		tag = new(lineageTag)
+		internedLineages[key] = tag
+	}
+	a.lineage = tag
+}
+
+// SameLineage reports whether two agents share a parameter lineage — the
+// precondition DecideBatch uses to stack their decisions into one forward.
+func SameLineage(a, b *Agent) bool { return a.lineage == b.lineage }
 
 // featureKeyInputs returns the only cluster-wide (non-job-local) inputs of a
 // job's feature matrix: the free-executor count, the total pool size, and

@@ -36,6 +36,14 @@ import (
 // parameters together.
 type lineageTag struct{ _ byte }
 
+// BatchAudit, when non-nil, receives the agents of every stacked forward
+// DecideBatch runs (batches of two or more coalesced requests). It exists
+// for tests that must observe batch composition — the hot-swap tests assert
+// every stacked batch is lineage-homogeneous while parameters are swapped
+// under live traffic. Install before any DecideBatch caller starts and do
+// not change it while batches run; it is invoked on the deciding goroutine.
+var BatchAudit func(agents []*Agent)
+
 // BatchItem pairs one decision request with the agent deciding it. The
 // agent contributes its parameters (shared across the batch), its private
 // embedding cache, its RNG and its Greedy/NoCache switches.
@@ -204,6 +212,13 @@ func DecideBatch(items []BatchItem, bs *BatchScratch) []*sim.Action {
 	preps := bs.preps
 	if len(preps) == 0 {
 		return acts
+	}
+	if BatchAudit != nil && len(preps) > 1 {
+		agents := make([]*Agent, len(preps))
+		for pi := range preps {
+			agents[pi] = preps[pi].a
+		}
+		BatchAudit(agents)
 	}
 
 	// Embedding phase. Each request's per-job summary rows live in one

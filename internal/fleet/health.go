@@ -10,42 +10,54 @@ import (
 	"repro/internal/rpcsvc"
 )
 
+// ProbeResult is what one health probe learned about a replica beyond
+// plain liveness.
+type ProbeResult struct {
+	// Draining reports the replica declared itself draining.
+	Draining bool
+	// Model is the replica's served model identity ("name@version", from
+	// /healthz); empty when the replica runs unversioned parameters or the
+	// probe fell back to a TCP dial.
+	Model string
+}
+
 // ProbeFunc checks one replica's health. addr is the RPC address, opsAddr
-// the HTTP ops address ("" when the replica has none). It reports whether
-// the replica declared itself draining, and a non-nil error when the
-// replica looks dead.
-type ProbeFunc func(addr, opsAddr string) (draining bool, err error)
+// the HTTP ops address ("" when the replica has none). It reports what the
+// replica declared about itself, and a non-nil error when the replica looks
+// dead.
+type ProbeFunc func(addr, opsAddr string) (ProbeResult, error)
 
 // probeTimeout bounds one health probe.
 const probeTimeout = 2 * time.Second
 
 // DefaultProbe prefers the replica's /healthz ops endpoint — which also
-// reports drain state, so a replica's SIGTERM drain propagates to the
-// router — and falls back to a plain TCP dial of the RPC address when no
-// ops endpoint is configured or it stops answering.
-func DefaultProbe(addr, opsAddr string) (bool, error) {
+// reports drain state and model identity, so a replica's SIGTERM drain and
+// its hot-swapped model version propagate to the router — and falls back to
+// a plain TCP dial of the RPC address when no ops endpoint is configured or
+// it stops answering.
+func DefaultProbe(addr, opsAddr string) (ProbeResult, error) {
 	if opsAddr != "" {
 		c := &http.Client{Timeout: probeTimeout}
 		resp, err := c.Get("http://" + opsAddr + "/healthz")
 		if err == nil {
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
-				return false, fmt.Errorf("fleet: probe %s: status %s", opsAddr, resp.Status)
+				return ProbeResult{}, fmt.Errorf("fleet: probe %s: status %s", opsAddr, resp.Status)
 			}
 			var hs rpcsvc.HealthStatus
 			if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
-				return false, fmt.Errorf("fleet: probe %s: %w", opsAddr, err)
+				return ProbeResult{}, fmt.Errorf("fleet: probe %s: %w", opsAddr, err)
 			}
-			return hs.Status == "draining", nil
+			return ProbeResult{Draining: hs.Status == "draining", Model: hs.Model}, nil
 		}
 		// Ops endpoint unreachable; the RPC listener may still be fine.
 	}
 	conn, err := net.DialTimeout("tcp", addr, probeTimeout)
 	if err != nil {
-		return false, err
+		return ProbeResult{}, err
 	}
 	conn.Close()
-	return false, nil
+	return ProbeResult{}, nil
 }
 
 // Start launches the active health loop: every HealthInterval each replica
@@ -79,13 +91,18 @@ func (rt *Router) healthLoop() {
 		}
 		rt.mu.RUnlock()
 		for _, rep := range reps {
-			draining, err := rt.cfg.Probe(rep.addr, rep.opsAddr)
+			res, err := rt.cfg.Probe(rep.addr, rep.opsAddr)
 			if err != nil {
 				rt.markFailed(rep, "probe: "+err.Error())
 				continue
 			}
 			rt.markProbeOK(rep)
-			if draining {
+			if res.Model != "" {
+				rep.mu.Lock()
+				rep.model = res.Model
+				rep.mu.Unlock()
+			}
+			if res.Draining {
 				rt.DrainReplica(rep.id)
 			}
 		}

@@ -17,7 +17,12 @@ type ReplicaInfo struct {
 	Draining bool   `json:"draining"`
 	// Breaker is the replica's circuit-breaker state: "closed", "open" or
 	// "half-open" ("" when circuit breaking is disabled).
-	Breaker  string `json:"breaker,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
+	// Model is the served model identity last reported by the replica's
+	// health probe ("name@version"; empty for unversioned parameters), so a
+	// live hot-swap — and a mid-rollout fleet running mixed versions — is
+	// visible straight from /fleet.
+	Model    string `json:"model,omitempty"`
 	Sessions int    `json:"sessions"`
 	Events   uint64 `json:"events"`
 }
@@ -40,7 +45,7 @@ func (rt *Router) Info() Info {
 	info := Info{Sessions: rt.Sessions()}
 	for _, rep := range reps {
 		rep.mu.Lock()
-		up, draining := rep.up, rep.draining
+		up, draining, model := rep.up, rep.draining, rep.model
 		rep.mu.Unlock()
 		brk := ""
 		if rep.brk != nil {
@@ -54,6 +59,7 @@ func (rt *Router) Info() Info {
 			Up:       up,
 			Draining: draining,
 			Breaker:  brk,
+			Model:    model,
 			Sessions: rt.sessionsOn(rep.id),
 			Events:   rep.events.Load(),
 		})
@@ -94,6 +100,21 @@ func (rt *Router) WriteProm(w io.Writer) {
 	gauges("fleet_replica_up", func(ri ReplicaInfo) float64 { return b2f(ri.Up) })
 	gauges("fleet_replica_draining", func(ri ReplicaInfo) float64 { return b2f(ri.Draining) })
 	gauges("fleet_replica_sessions", func(ri ReplicaInfo) float64 { return float64(ri.Sessions) })
+
+	// Served model per replica as an info-style gauge (value constant 1, the
+	// identity rides the label) — omitted for replicas that never reported
+	// one, so unversioned fleets emit nothing here.
+	wroteModel := false
+	for _, ri := range info.Replicas {
+		if ri.Model == "" {
+			continue
+		}
+		if !wroteModel {
+			fmt.Fprintf(w, "# TYPE fleet_replica_model gauge\n")
+			wroteModel = true
+		}
+		fmt.Fprintf(w, "fleet_replica_model{replica=%q,model=%q} 1\n", ri.ID, ri.Model)
+	}
 
 	// Breaker state per replica: 0 closed, 1 open, 2 half-open (omitted
 	// entirely when circuit breaking is disabled).

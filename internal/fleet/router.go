@@ -69,6 +69,9 @@ type replica struct {
 	draining   bool
 	failStreak int
 	okStreak   int
+	// model is the served model identity last reported by a health probe
+	// ("name@version"; empty until a probe sees one).
+	model string
 
 	events  atomic.Uint64
 	forward rpcsvc.LatencyHist

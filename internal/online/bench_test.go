@@ -1,0 +1,98 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rpcsvc"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchServer starts a session server cloning base, with sink as the
+// record sink when non-nil.
+func benchServer(b *testing.B, base *core.Agent, sink rpcsvc.RecordSink) (*rpcsvc.Server, *rpcsvc.Client) {
+	b.Helper()
+	srv, err := rpcsvc.ListenAndServeSessions("127.0.0.1:0", rpcsvc.SessionConfig{
+		Default: "decima",
+		New: func(name string, seed int64) (scheduler.Scheduler, error) {
+			return base.Clone(rand.New(rand.NewSource(seed))), nil
+		},
+		RecordSink: sink,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli, err := rpcsvc.Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return srv, cli
+}
+
+func benchServe(b *testing.B, record bool) {
+	const executors = 5
+	base := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(77)))
+	base.Greedy = true
+	// The sink swallows episodes without training — this measures the
+	// recording overhead on the serving path alone.
+	_, cli := benchServer(b, base, func(steps []core.ReplayStep) {})
+
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := int64(1 + i)
+		ss := &rpcsvc.SessionScheduler{Client: cli, Seed: seed, Record: record}
+		jobs := workload.Batch(rand.New(rand.NewSource(seed)), 2)
+		res := sim.New(sim.SparkDefaults(executors), jobs, ss, rand.New(rand.NewSource(seed))).Run()
+		if err := ss.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if res.Deadlock || res.Unfinished != 0 {
+			b.Fatalf("session %d did not finish", seed)
+		}
+		events += res.Invocations
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/sec")
+	}
+}
+
+// BenchmarkOnlineLoop measures the serving-side costs of the online loop:
+// full session runs with recording off vs on (the off/on delta is the
+// recording tax ISSUE acceptance bounds at ±2%), and the latency of one
+// SwapAgents sweep across live sessions.
+func BenchmarkOnlineLoop(b *testing.B) {
+	b.Run("serve-record-off", func(b *testing.B) { benchServe(b, false) })
+	b.Run("serve-record-on", func(b *testing.B) { benchServe(b, true) })
+
+	b.Run("hot-swap", func(b *testing.B) {
+		const executors = 5
+		const sessions = 8
+		base := core.New(core.DefaultConfig(executors), rand.New(rand.NewSource(77)))
+		base.Greedy = true
+		srv, cli := benchServer(b, base, nil)
+
+		// Hold live sessions open so every sweep visits real agents.
+		for k := 0; k < sessions; k++ {
+			if _, err := cli.OpenRPC(&rpcsvc.OpenRequest{Seed: int64(k), TotalExecutors: executors}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		staged := base.Clone(rand.New(rand.NewSource(1)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n := srv.Service().SwapAgents(staged, "bench", 1); n != sessions {
+				b.Fatalf("swap reached %d of %d sessions", n, sessions)
+			}
+		}
+	})
+}

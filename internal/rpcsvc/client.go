@@ -438,6 +438,10 @@ type SessionScheduler struct {
 	// server-side overload budget: a server that cannot start the decision
 	// within it sheds with ErrOverloaded instead of queueing the request.
 	Deadline time.Duration
+	// Record opts every session (including reopens) into server-side
+	// trajectory recording for the online learning loop. Servers without a
+	// record sink ignore it; decisions are bit-identical either way.
+	Record bool
 	// OnError, when set, receives every failed attempt's error.
 	OnError func(error)
 
@@ -612,6 +616,7 @@ func (r *SessionScheduler) eventOnce(s *sim.State) (*sim.Action, error) {
 			MoveDelay:      s.MoveDelay,
 			Key:            r.Key,
 			Deadline:       r.Deadline,
+			Record:         r.Record,
 		})
 		if err != nil {
 			return nil, err

@@ -2,6 +2,8 @@ package rpcsvc
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 )
 
@@ -23,14 +25,23 @@ type HealthStatus struct {
 	Status   string `json:"status"`
 	Replica  string `json:"replica"`
 	Sessions int    `json:"sessions"`
+	// Model is the served model identity ("name@version"); empty on
+	// unversioned parameters. The fleet health prober carries it onto the
+	// router's /fleet view, so a hot-swap is observable fleet-wide.
+	Model string `json:"model,omitempty"`
 }
 
 // NewOpsHandler returns the HTTP handler serving /healthz and /metrics for
-// one Decima service object.
-func NewOpsHandler(d *Decima) http.Handler {
+// one Decima service object. Optional extras are appended to the /metrics
+// page — the serving binary passes the online trainer's WriteProm so the
+// online_* training counters ride the same scrape.
+func NewOpsHandler(d *Decima, extras ...func(io.Writer)) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := HealthStatus{Status: "ok", Replica: d.ReplicaID(), Sessions: d.tbl.len()}
+		if name, ver := d.Model(); name != "" {
+			st.Model = fmt.Sprintf("%s@%d", name, ver)
+		}
 		if d.Draining() {
 			st.Status = "draining"
 		}
@@ -45,6 +56,9 @@ func NewOpsHandler(d *Decima) http.Handler {
 			labels = `replica="` + snap.Replica + `"`
 		}
 		snap.WriteProm(w, labels)
+		for _, extra := range extras {
+			extra(w)
+		}
 	})
 	return mux
 }

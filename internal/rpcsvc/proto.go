@@ -120,6 +120,13 @@ type OpenRequest struct {
 	// budget is spent instead of binding a session the client has stopped
 	// waiting for. Zero (the pre-overload wire form) means no budget.
 	Deadline time.Duration
+	// Record opts the session into trajectory recording for the online
+	// learning loop: the server captures one replay step per decision and
+	// hands the completed episode to its trainer when the session ends.
+	// Ignored (silently) on servers without a RecordSink; false — the
+	// pre-online wire form old clients send — costs nothing and serves
+	// bit-identically to before.
+	Record bool
 }
 
 // OpenResponse returns the session id for subsequent Event/Close calls.

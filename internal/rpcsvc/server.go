@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 )
@@ -49,6 +50,15 @@ type SessionConfig struct {
 	// fleet clients can observe which replica serves a session. Empty is
 	// fine for single-server deployments.
 	ReplicaID string
+	// RecordSink, when set, enables opt-in trajectory recording: a session
+	// opened with OpenRequest.Record captures its decisions and delivers
+	// the completed episode here when it ends (see record.go). Nil — the
+	// default — makes Record a silent no-op, and recording-off sessions
+	// serve bit-identically either way.
+	RecordSink RecordSink
+	// RecordMaxSteps bounds each recording session's trajectory ring
+	// (oldest steps drop beyond it). 0 selects DefaultRecordMaxSteps.
+	RecordMaxSteps int
 }
 
 // DefaultMaxSessions bounds the session table when SessionConfig leaves
@@ -91,7 +101,14 @@ type Decima struct {
 	// serving — the SIGTERM graceful-drain mode of cmd/decima-server and
 	// the handshake a fleet router uses to migrate sessions away.
 	draining atomic.Bool
-	stats    ServerStats
+	// recordSink + recordMax enable opt-in trajectory recording (record.go).
+	recordSink RecordSink
+	recordMax  int
+	// modelMu guards the served model identity (SetModel/SwapAgents).
+	modelMu      sync.Mutex
+	modelName    string
+	modelVersion int
+	stats        ServerStats
 }
 
 // NewDecima wraps one scheduler instance as the service object: all
@@ -127,6 +144,11 @@ func NewDecimaSessions(cfg SessionConfig) *Decima {
 		}
 	}
 	d := &Decima{factory: factory, defName: cfg.Default, replicaID: cfg.ReplicaID, maxInflight: cfg.MaxInflight}
+	d.recordSink = cfg.RecordSink
+	d.recordMax = cfg.RecordMaxSteps
+	if d.recordMax <= 0 {
+		d.recordMax = DefaultRecordMaxSteps
+	}
 	d.tbl = newSessionTable(max, idle, &d.stats)
 	maxBatch := cfg.MaxBatch
 	if maxBatch == 0 {
@@ -203,6 +225,20 @@ func (d *Decima) Open(req *OpenRequest, resp *OpenResponse) error {
 		moveDelay: req.MoveDelay,
 		jobs:      make(map[int]*sim.JobState),
 		execs:     make(map[int]*sim.Executor),
+	}
+	if req.Record && d.recordSink != nil {
+		// Recording rides the agent's fast-path Record hook; non-agent
+		// schedulers (fifo, fair) have no trajectory to record and the flag
+		// is silently ignored — as it is on servers with no sink at all.
+		// Setting Record also excludes this session's decisions from the
+		// coalescing batcher (core.DecideBatch's non-batchable fallback).
+		if ag, ok := sched.(*core.Agent); ok && decideMu == nil {
+			rec := &recorder{max: d.recordMax}
+			ag.Record = rec.record
+			sess.rec = rec
+			sess.sink = d.recordSink
+			d.stats.RecordingOpens.Add(1)
+		}
 	}
 	sid, evicted := d.tbl.add(sess)
 	resetAll(evicted)
@@ -317,6 +353,7 @@ func (d *Decima) Stats() StatsSnapshot {
 	s.Sessions = d.tbl.len()
 	s.Draining = d.draining.Load()
 	s.Replica = d.replicaID
+	s.ModelName, s.ModelVersion = d.Model()
 	return s
 }
 

@@ -33,6 +33,11 @@ type session struct {
 	jobs      map[int]*sim.JobState
 	order     []*sim.JobState
 	execs     map[int]*sim.Executor
+	// rec + sink, when set, record the session's decisions and deliver the
+	// completed episode when the session ends (see record.go). Accessed
+	// only under mu, like the rest of the mirror.
+	rec  *recorder
+	sink RecordSink
 }
 
 // event applies one delta to the mirror and asks the scheduler for the next
@@ -215,6 +220,15 @@ func (s *session) reset() {
 	s.jobs = nil
 	s.order = nil
 	s.execs = nil
+	// The session ending — Close or eviction — completes its episode: hand
+	// the recorded trajectory to the online trainer before the scheduler
+	// drops its caches (the steps' graphs are already recorder-owned).
+	if s.rec != nil && s.sink != nil {
+		if steps := s.rec.take(); steps != nil {
+			s.sink(steps)
+		}
+		s.rec, s.sink = nil, nil
+	}
 	if s.decideMu != nil {
 		s.decideMu.Lock()
 		defer s.decideMu.Unlock()

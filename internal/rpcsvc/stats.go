@@ -121,6 +121,9 @@ type ServerStats struct {
 	Inflight atomic.Int64
 	// EvictedLRU and EvictedIdle count session-table evictions by cause.
 	EvictedLRU, EvictedIdle atomic.Uint64
+	// RecordingOpens counts sessions opened with trajectory recording on;
+	// Swaps counts SwapAgents sweeps (live model hot-swaps).
+	RecordingOpens, Swaps atomic.Uint64
 	// Decide observes the latency of every scheduling decision (batched or
 	// sequential, session or stateless).
 	Decide LatencyHist
@@ -136,27 +139,34 @@ type StatsSnapshot struct {
 	Shed, DeadlineMiss               uint64
 	Inflight                         int64
 	EvictedLRU, EvictedIdle          uint64
+	RecordingOpens, Swaps            uint64
 	Draining                         bool
 	Replica                          string
-	Decide                           HistSnapshot
+	// ModelName/ModelVersion identify the served model (registry identity;
+	// empty name means unversioned parameters).
+	ModelName    string
+	ModelVersion int
+	Decide       HistSnapshot
 }
 
 // snapshot copies the counters; the caller fills table occupancy and
 // identity.
 func (st *ServerStats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Opens:         st.Opens.Load(),
-		Closes:        st.Closes.Load(),
-		Events:        st.Events.Load(),
-		Stateless:     st.Stateless.Load(),
-		OpensRejected: st.OpensRejected.Load(),
-		SeqGaps:       st.SeqGaps.Load(),
-		Shed:          st.Shed.Load(),
-		DeadlineMiss:  st.DeadlineMiss.Load(),
-		Inflight:      st.Inflight.Load(),
-		EvictedLRU:    st.EvictedLRU.Load(),
-		EvictedIdle:   st.EvictedIdle.Load(),
-		Decide:        st.Decide.Snapshot(),
+		Opens:          st.Opens.Load(),
+		Closes:         st.Closes.Load(),
+		Events:         st.Events.Load(),
+		Stateless:      st.Stateless.Load(),
+		OpensRejected:  st.OpensRejected.Load(),
+		SeqGaps:        st.SeqGaps.Load(),
+		Shed:           st.Shed.Load(),
+		DeadlineMiss:   st.DeadlineMiss.Load(),
+		Inflight:       st.Inflight.Load(),
+		EvictedLRU:     st.EvictedLRU.Load(),
+		EvictedIdle:    st.EvictedIdle.Load(),
+		RecordingOpens: st.RecordingOpens.Load(),
+		Swaps:          st.Swaps.Load(),
+		Decide:         st.Decide.Snapshot(),
 	}
 }
 
@@ -192,6 +202,24 @@ func (s StatsSnapshot) WriteProm(w io.Writer, labels string) {
 	fmt.Fprintf(w, "# TYPE decima_sessions_evicted_total counter\n")
 	fmt.Fprintf(w, "decima_sessions_evicted_total{%sreason=\"lru\"} %d\n", evl, s.EvictedLRU)
 	fmt.Fprintf(w, "decima_sessions_evicted_total{%sreason=\"idle\"} %d\n", evl, s.EvictedIdle)
+	// Online-loop serving metrics: the served model version (0 until a
+	// registry checkpoint is installed) and the hot-swap count. The model
+	// name rides as a label so a version rollback is visible as a change in
+	// the labelled series, not an ambiguous gauge step.
+	ml := labels
+	if s.ModelName != "" {
+		if ml != "" {
+			ml += ","
+		}
+		ml += `model="` + s.ModelName + `"`
+	}
+	mb := "{" + ml + "}"
+	if ml == "" {
+		mb = ""
+	}
+	fmt.Fprintf(w, "# TYPE decima_model_version gauge\ndecima_model_version%s %d\n", mb, s.ModelVersion)
+	c("online_swaps_total", s.Swaps)
+	c("decima_recording_opens_total", s.RecordingOpens)
 	s.Decide.WriteProm(w, "decima_decide_latency_seconds", labels)
 }
 
